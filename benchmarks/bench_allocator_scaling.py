@@ -1,0 +1,62 @@
+"""Allocator runtime scaling (complements C44's FURO measurements).
+
+Table 1's CPU column grows from 0.1 s (straight, 146 lines) to 0.5 s
+(eigen, 488 lines) on the Sparc20 — roughly linear in application
+size.  These benchmarks measure our Algorithm 1 end to end (FURO
+preprocessing + greedy loop) across workload sizes and area budgets,
+and the area-axis behaviour the paper highlights (re-running for
+different constraints is the intended workflow).
+"""
+
+import pytest
+
+from repro.apps.synthetic import synthetic_bsb_array
+from repro.core.allocator import allocate
+
+
+@pytest.mark.parametrize("bsb_count", [4, 16, 64])
+def test_allocator_scaling_in_bsbs(benchmark, library, bsb_count):
+    bsbs = synthetic_bsb_array(bsb_count, 12, seed=11)
+    result = benchmark(lambda: allocate(bsbs, library, area=20000.0))
+    assert result.runtime_seconds >= 0.0
+
+
+@pytest.mark.parametrize("ops", [8, 32])
+def test_allocator_scaling_in_ops(benchmark, library, ops):
+    bsbs = synthetic_bsb_array(12, ops, seed=13)
+    result = benchmark(lambda: allocate(bsbs, library, area=20000.0))
+    assert result.runtime_seconds >= 0.0
+
+
+@pytest.mark.parametrize("area", [2000.0, 20000.0, 200000.0])
+def test_allocator_scaling_in_area(benchmark, library, area):
+    """More area means more accepted changes and more restarts; the
+    restriction caps keep the growth bounded."""
+    bsbs = synthetic_bsb_array(16, 16, seed=17)
+    result = benchmark(lambda: allocate(bsbs, library, area=area))
+    used = result.datapath_area + result.controller_area
+    assert used <= area + 1e-9
+
+
+def test_table1_cpu_column(benchmark, programs, library, capsys):
+    """The paper's CPU column, measured: every application allocates in
+    well under a second, ordered by size."""
+    from repro.apps.registry import application_names, application_spec
+
+    def run_all():
+        times = {}
+        for name in application_names():
+            spec = application_spec(name)
+            result = allocate(programs[name].bsbs, library,
+                              area=spec.total_area)
+            times[name] = result.runtime_seconds
+        return times
+
+    times = benchmark.pedantic(run_all, rounds=3, iterations=1)
+    with capsys.disabled():
+        print("\nAlgorithm 1 runtimes: %s"
+              % {name: "%.3fs" % value
+                 for name, value in times.items()})
+    assert all(value < 1.0 for value in times.values())
+    # The biggest application (eigen) costs the most, as in the paper.
+    assert times["eigen"] == max(times.values())

@@ -1,0 +1,35 @@
+"""F3 — Figure 3: the data-path size vs controller room trade-off.
+
+The paper's Figure 3 argues qualitatively that a small data-path gives
+"many small speedups" and a large one "few large speedups", and neither
+extreme is best.  The sweep fixes the data-path budget at a fraction of
+the ASIC and measures the PACE speed-up; the expected shape is a
+unimodal curve with an interior maximum.
+"""
+
+import pytest
+
+from repro.report.experiments import fig3_sweep, render_fig3
+
+FRACTIONS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98]
+
+
+@pytest.mark.parametrize("name", ["man", "hal"])
+def test_fig3_tradeoff(benchmark, name, capsys):
+    points = benchmark.pedantic(
+        lambda: fig3_sweep(name=name, fractions=FRACTIONS),
+        rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(render_fig3(points, name=name))
+
+    speedups = [point["speedup"] for point in points]
+    best_index = speedups.index(max(speedups))
+
+    # Both extremes lose to the interior best point.
+    assert speedups[best_index] > speedups[0]
+    assert speedups[best_index] > speedups[-1]
+    # The curve falls off at the far right: committing nearly all area
+    # to the data-path leaves no controller room.
+    assert speedups[-1] < 0.5 * speedups[best_index]

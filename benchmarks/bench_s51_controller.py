@@ -1,0 +1,54 @@
+"""S51 — section 5.1: the effect of optimistic controller estimation.
+
+Two claims:
+
+1. The ASAP-based ECA is optimistic: the actual controller of a BSB
+   under the algorithm's (finite) allocation is never smaller, often
+   larger — so the algorithm allocates "a few too many resources ...
+   than actually affordable".
+2. The fix is monotone: the best allocation is reachable from the
+   algorithm's by only *removing* resources ("It is never necessary to
+   increase the number of allocated resources").
+"""
+
+import pytest
+
+from repro.apps.registry import application_names, application_spec
+from repro.core.allocator import allocate
+from repro.core.iteration import design_iteration
+from repro.partition.model import TargetArchitecture
+from repro.report.experiments import render_s51, s51_controller_rows
+
+
+@pytest.mark.parametrize("name", ["man", "eigen"])
+def test_controller_estimate_optimism(benchmark, name, capsys):
+    rows = benchmark.pedantic(lambda: s51_controller_rows(name),
+                              rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_s51(rows, name))
+
+    # Claim 1: optimism — actual >= estimate for every BSB, strictly
+    # larger somewhere.
+    assert all(row["ratio"] >= 1.0 - 1e-9 for row in rows)
+    assert any(row["ratio"] > 1.0 for row in rows)
+
+
+@pytest.mark.parametrize("name", application_names())
+def test_reduction_only_refinement(benchmark, name, programs, library):
+    """Claim 2: the reduce-only iteration never degrades the speed-up
+    and the refined allocation is always a sub-allocation."""
+    program = programs[name]
+    spec = application_spec(name)
+    architecture = TargetArchitecture(library=library,
+                                      total_area=spec.total_area)
+    result = allocate(program.bsbs, library, area=spec.total_area)
+
+    iterated = benchmark.pedantic(
+        lambda: design_iteration(program.bsbs, result.allocation,
+                                 architecture, area_quanta=120),
+        rounds=1, iterations=1)
+
+    assert (iterated.final_evaluation.speedup
+            >= iterated.initial_evaluation.speedup - 1e-9)
+    assert result.allocation.covers(iterated.final_allocation)

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Programs are compiled once per session; each ``bench_*`` module
+regenerates one artefact of the paper (see DESIGN.md's experiment
+index) and asserts its qualitative shape, while pytest-benchmark
+measures the runtime of the underlying computation.
+"""
+
+import pytest
+
+from repro.apps.registry import application_names, load_application
+from repro.hwlib.library import default_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def programs():
+    """All four benchmark applications, compiled and profiled once."""
+    return {name: load_application(name) for name in application_names()}

@@ -1,0 +1,103 @@
+"""The paper's future-work extensions, demonstrated end to end.
+
+Section 6 lists three directions; all are implemented in this library:
+
+1. **module selection** — choosing among several resources executing
+   the same operation type (fast vs small adders/multipliers);
+2. **multiple ASICs** — splitting the hardware budget across chips,
+   each allocated for the workload its predecessors left over;
+3. **interconnect and storage estimates** — charging multiplexer and
+   register area so over-allocation hurts the way it does in silicon.
+
+Run:  python examples/future_work_extensions.py
+"""
+
+from repro import (
+    BalancedPolicy,
+    CheapestPolicy,
+    FastestPolicy,
+    OpType,
+    OverheadModel,
+    ResourceLibrary,
+    TargetArchitecture,
+    allocate,
+    allocate_with_selection,
+    default_library,
+    design_iteration,
+    evaluate_allocation,
+    load_application,
+    multi_asic_codesign,
+)
+
+
+def mixed_library():
+    """Default library plus slow-but-small adder/multiplier flavours."""
+    library = ResourceLibrary("mixed")
+    for resource in default_library().resources():
+        library.add(resource)
+    library.add_single("ripple-adder", OpType.ADD, area=45.0, latency=2)
+    library.add_single("serial-mult", OpType.MUL, area=400.0, latency=6)
+    return library
+
+
+def demo_module_selection(program):
+    print("=" * 68)
+    print("1. Module selection (hal, 5200 GE, fast vs small unit mixes)")
+    library = mixed_library()
+    architecture = TargetArchitecture(library=library, total_area=5200.0)
+    for policy in (FastestPolicy(), CheapestPolicy(), BalancedPolicy()):
+        selected = allocate_with_selection(program.bsbs, library,
+                                           area=5200.0, policy=policy)
+        evaluation = evaluate_allocation(program.bsbs,
+                                         selected.allocation,
+                                         architecture)
+        print("  %-8s SU %5.0f%%  %s"
+              % (policy.name, evaluation.speedup, selected.allocation))
+
+
+def demo_multi_asic(program):
+    print("=" * 68)
+    print("2. Multiple ASICs (eigen, 15000 GE total)")
+    library = default_library()
+    for areas in ([15000.0], [7500.0, 7500.0], [5000.0] * 3):
+        result = multi_asic_codesign(program.bsbs, library, areas)
+        split = " + ".join("%.0f" % area for area in areas)
+        moved = ", ".join("%d" % len(plan.hw_names)
+                          for plan in result.asics)
+        print("  [%s]: SU %5.0f%%  (BSBs per ASIC: %s)"
+              % (split, result.speedup, moved))
+
+
+def demo_overheads(program):
+    print("=" * 68)
+    print("3. Interconnect/storage estimates (man, 5200 GE)")
+    library = default_library()
+    architecture = TargetArchitecture(library=library, total_area=5200.0)
+    allocation = allocate(program.bsbs, library, area=5200.0).allocation
+    model = OverheadModel()
+    plain = evaluate_allocation(program.bsbs, allocation, architecture)
+    charged = evaluate_allocation(program.bsbs, allocation, architecture,
+                                  overhead_model=model)
+    print("  allocation: %s" % allocation)
+    print("  SU ignoring overheads: %5.0f%%" % plain.speedup)
+    print("  SU charging %.0f GE of muxes/registers: %5.0f%%"
+          % (charged.overhead_area, charged.speedup))
+    iterated = design_iteration(program.bsbs, allocation, architecture,
+                                overhead_model=model)
+    print("  overhead-aware design iteration: -> %5.0f%% after:"
+          % iterated.final_evaluation.speedup)
+    for step in iterated.steps:
+        print("    %s" % step)
+
+
+def main():
+    hal = load_application("hal")
+    eigen = load_application("eigen")
+    man = load_application("man")
+    demo_module_selection(hal)
+    demo_multi_asic(eigen)
+    demo_overheads(man)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package (offline), so PEP 517
+editable installs cannot build; this shim lets ``pip install -e .
+--no-build-isolation --no-use-pep517`` (or ``python setup.py develop``)
+perform a legacy editable install.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

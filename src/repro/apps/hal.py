@@ -1,0 +1,92 @@
+"""``hal``: the Paulin-Knight differential-equation benchmark [11].
+
+The classic HAL example solves y'' + 3xy' + 3y = 0 by forward Euler
+integration.  Values are Q8 fixed point (1.0 == 256); products of two
+Q8 numbers are renormalised with ``>> 8``.  The hot loop carries almost
+all the work, which is why the paper reports 80% of the application in
+hardware and a 93% data-path share: one big BSB with heavy multiply
+parallelism dominates.
+
+Paper row (Table 1): 61 lines, SU/SU(best) = 4173%/4173%, Size 93%,
+HW/SW 80%/20%.
+"""
+
+NAME = "hal"
+
+#: Q8 fixed-point scale.
+SCALE = 256
+
+SOURCE = """\
+// HAL differential equation solver (Paulin & Knight), Q8 fixed point.
+// Integrates y'' = -3*x*y' - 3*y with step dx from x0 to a.
+input x0;
+input y0;
+input u0;
+input dx;
+input a;
+output xf;
+output yf;
+output uf;
+output steps;
+
+int x; int y; int u;
+int x1; int y1; int u1;
+int t1; int t2; int t3; int t4; int t5; int t6;
+
+// Initialisation block: move the inputs into the state registers and
+// prescale the constant 3 into Q8.
+x = x0;
+y = y0;
+u = u0;
+steps = 0;
+
+while (x < a) {
+    // x1 = x + dx
+    x1 = x + dx;
+
+    // u1 = u - 3*x*u*dx - 3*y*dx      (all products renormalised)
+    t1 = (x * u) >> 8;
+    t2 = (t1 * dx) >> 8;
+    t3 = 3 * t2;
+    t4 = (y * dx) >> 8;
+    t5 = 3 * t4;
+    u1 = u - t3 - t5;
+
+    // y1 = y + u*dx
+    t6 = (u * dx) >> 8;
+    y1 = y + t6;
+
+    // Commit the new state.
+    x = x1;
+    u = u1;
+    y = y1;
+    steps = steps + 1;
+}
+
+xf = x;
+yf = y;
+uf = u;
+"""
+
+#: Profiling inputs: integrate from x=0 to a=2.0 with dx=1/16 (32 steps;
+#: the small step keeps the forward-Euler recurrence numerically stable).
+INPUTS = {
+    "x0": 0,
+    "y0": 1 * SCALE,
+    "u0": 1 * SCALE,
+    "dx": SCALE // 16,
+    "a": 2 * SCALE,
+}
+
+#: ASIC area for the Table 1 experiment (gate equivalents).
+TOTAL_AREA = 9000.0
+
+#: Budget for the exhaustive search (the space is small).
+MAX_EVALUATIONS = 20000
+
+
+def load():
+    """Compile and profile the application."""
+    from repro.cdfg.builder import compile_source
+
+    return compile_source(SOURCE, name=NAME, inputs=INPUTS)

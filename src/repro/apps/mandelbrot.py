@@ -1,0 +1,128 @@
+"""``man``: Mandelbrot-set computation [12].
+
+Structure (mirroring the paper's description of the benchmark):
+
+* a per-pixel *palette block* that loads a long row of constant
+  coefficients — "a lot of parallel loading of constant values for
+  multiplication ... situated in a single BSB".  Its ASAP schedule is
+  one control step, so the ECA estimate is tiny and the block's CONST
+  urgency is enormous: the allocation algorithm moves it first and then
+  keeps granting it constant generators, exactly the failure mode the
+  paper reports (SU 30% vs best 3081% before one design iteration);
+* the escape-time iteration — a small, extremely compute-intensive BSB
+  (the "8% of the application" that carries nearly all the runtime);
+* per-row and per-pixel coordinate setup, palette selection branches
+  and statistics blocks that account for the bulk of the static code.
+
+Values are Q8 fixed point (1.0 == 256).
+
+Paper row (Table 1): 103 lines, SU/SU(best) = 30%/3081%, Size 92%,
+HW/SW 8%/92%.
+"""
+
+NAME = "man"
+
+SOURCE = """\
+// Mandelbrot set, Q8 fixed point.  Region [-2,1] x [-1.5,1.5].
+input width;
+input height;
+input maxiter;
+output total;
+output inside;
+output maxcolor;
+
+int px; int py; int cr; int ci;
+int zr; int zi; int zr2; int zi2; int tmp;
+int it; int esc; int color; int bright;
+int k0; int k1; int k2; int k3; int k4; int k5;
+int k6; int k7; int k8; int k9; int k10; int k11;
+int k12; int k13; int k14; int k15; int k16; int k17;
+int k18; int k19; int k20; int k21; int k22; int k23;
+int rowbase; int rowstep; int colstep;
+
+total = 0;
+inside = 0;
+maxcolor = 0;
+rowstep = 768 / height;
+colstep = 768 / width;
+
+for (py = 0; py < height; py = py + 1) {
+    // Row setup block.
+    rowbase = py * rowstep;
+    ci = rowbase - 384;
+
+    for (px = 0; px < width; px = px + 1) {
+        cr = px * colstep - 512;
+        zr = 0;
+        zi = 0;
+        it = 0;
+        esc = 0;
+
+        // Escape-time iteration: the compute-intensive core.
+        while ((it < maxiter) & (esc == 0)) {
+            zr2 = (zr * zr) >> 8;
+            zi2 = (zi * zi) >> 8;
+            if (zr2 + zi2 > 1024) {
+                esc = 1;
+            } else {
+                tmp = zr2 - zi2 + cr;
+                zi = ((2 * (zr * zi)) >> 8) + ci;
+                zr = tmp;
+                it = it + 1;
+            }
+        }
+
+        // Palette block: parallel loading of constant values for the
+        // colour multiplications below (one BSB, ASAP length 1).
+        k0 = 17;  k1 = 31;  k2 = 9;   k3 = 27;
+        k4 = 45;  k5 = 13;  k6 = 57;  k7 = 3;
+        k8 = 23;  k9 = 39;  k10 = 11; k11 = 29;
+        k12 = 51; k13 = 7;  k14 = 61; k15 = 19;
+        k16 = 37; k17 = 5;  k18 = 43; k19 = 15;
+        k20 = 53; k21 = 25; k22 = 47; k23 = 33;
+
+        // Palette selection: Horner chains keep the multiplications
+        // serial (the constants, not the products, are parallel).
+        if (esc == 1) {
+            color = ((((((k0 * it) >> 4) + k1) * it) >> 5) + k2) * it;
+            color = (color >> 6) + ((k3 * it) >> 3) + k4;
+            bright = ((((k5 * it) >> 4) + k6) * it) >> 5;
+            color = color + bright + k7 + k8 + k9;
+        } else {
+            color = k10 + k11 + ((k12 * it) >> 6);
+            bright = ((((k13 * it) >> 5) + k14) * it) >> 6;
+            color = color + bright + k15 + k16;
+            inside = inside + 1;
+        }
+
+        // Statistics block.
+        color = color + ((k17 + k18 + k19 + k20 + k21 + k22 + k23) >> 3);
+        total = total + color;
+        if (color > maxcolor) {
+            maxcolor = color;
+        }
+    }
+}
+"""
+
+#: Profiling inputs: a 20x20 grid, 24 iterations max.
+INPUTS = {
+    "width": 20,
+    "height": 20,
+    "maxiter": 24,
+}
+
+#: ASIC area for the Table 1 experiment (gate equivalents) — tight, so
+#: wasted constant generators crowd out controllers (the paper's story).
+TOTAL_AREA = 5200.0
+
+#: Budget for the exhaustive search (the constant-generator axis makes
+#: the space large; sampling mirrors the paper's eigen footnote).
+MAX_EVALUATIONS = 4000
+
+
+def load():
+    """Compile and profile the application."""
+    from repro.cdfg.builder import compile_source
+
+    return compile_source(SOURCE, name=NAME, inputs=INPUTS)

@@ -1,0 +1,79 @@
+"""Application registry: load benchmarks by name, with Table 1 metadata."""
+
+from dataclasses import dataclass
+
+from repro.apps import eigen, hal, mandelbrot, straight
+from repro.errors import ReproError
+
+_MODULES = {
+    "straight": straight,
+    "hal": hal,
+    "man": mandelbrot,
+    "eigen": eigen,
+}
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Experiment parameters and paper-reported values for one benchmark.
+
+    Attributes:
+        name: Benchmark name (Table 1's Example column).
+        total_area: ASIC area used in our Table 1 reproduction.
+        max_evaluations: Exhaustive-search budget.
+        paper_lines: The paper's Lines column.
+        paper_su: The paper's SU for the algorithm's allocation (%).
+        paper_su_best: The paper's SU for the best allocation (%).
+        paper_size_percent: The paper's Size column (%).
+        paper_hw_percent: The paper's HW share of the HW/SW column (%).
+    """
+
+    name: str
+    total_area: float
+    max_evaluations: int
+    paper_lines: int
+    paper_su: float
+    paper_su_best: float
+    paper_size_percent: float
+    paper_hw_percent: float
+
+
+_PAPER_ROWS = {
+    "straight": ApplicationSpec("straight", straight.TOTAL_AREA,
+                                straight.MAX_EVALUATIONS,
+                                146, 1610.0, 1610.0, 62.0, 58.0),
+    "hal": ApplicationSpec("hal", hal.TOTAL_AREA, hal.MAX_EVALUATIONS,
+                           61, 4173.0, 4173.0, 93.0, 80.0),
+    "man": ApplicationSpec("man", mandelbrot.TOTAL_AREA,
+                           mandelbrot.MAX_EVALUATIONS,
+                           103, 30.0, 3081.0, 92.0, 8.0),
+    "eigen": ApplicationSpec("eigen", eigen.TOTAL_AREA,
+                             eigen.MAX_EVALUATIONS,
+                             488, 20.0, 311.0, 82.0, 19.0),
+}
+
+
+def application_names():
+    """The benchmark names, in Table 1 order."""
+    return ["straight", "hal", "man", "eigen"]
+
+
+def load_application(name):
+    """Compile and profile the named benchmark; returns a Program."""
+    try:
+        module = _MODULES[name]
+    except KeyError:
+        raise ReproError(
+            "unknown application %r (expected one of %s)"
+            % (name, ", ".join(application_names()))) from None
+    return module.load()
+
+
+def application_spec(name):
+    """Experiment parameters / paper values for the named benchmark."""
+    try:
+        return _PAPER_ROWS[name]
+    except KeyError:
+        raise ReproError(
+            "unknown application %r (expected one of %s)"
+            % (name, ", ".join(application_names()))) from None

@@ -1,0 +1,138 @@
+"""``straight``: straight-line DSP code from the LYCOS paper [9].
+
+A sample-processing pipeline dominated by straight-line arithmetic: an
+unrolled 8-tap FIR filter, a biquad section, a polynomial waveshaper
+and an energy accumulator, with small saturation conditionals between
+the stages.  The structure (a few large, highly parallel basic blocks
+plus small control blocks) is what gives the paper's balanced result:
+both the data-path and the controllers get a substantial share, and the
+heuristic allocation matches the best allocation.
+
+Paper row (Table 1): 146 lines, SU/SU(best) = 1610%/1610%, Size 62%,
+HW/SW 58%/42%.
+"""
+
+NAME = "straight"
+
+SOURCE = """\
+// Straight-line DSP pipeline: FIR -> biquad -> waveshaper -> energy.
+// Q8 fixed point throughout (1.0 == 256).
+input n;
+input seed;
+output energy;
+output peak;
+output last;
+
+int s0; int s1; int s2; int s3;
+int s4; int s5; int s6; int s7;
+int c0; int c1; int c2; int c3;
+int c4; int c5; int c6; int c7;
+int acc; int fir; int x;
+int b0; int b1; int b2; int a1; int a2;
+int w; int w1; int w2; int biq;
+int p1; int p2; int p3; int shaped;
+int t0; int t1; int t2; int t3;
+int t4; int t5; int t6; int t7;
+int i; int rnd;
+
+// Filter coefficient block: one straight-line group of constant loads.
+c0 = 12;
+c1 = 34;
+c2 = 78;
+c3 = 120;
+c4 = 120;
+c5 = 78;
+c6 = 34;
+c7 = 12;
+b0 = 64;
+b1 = 128;
+b2 = 64;
+a1 = 90;
+a2 = 40;
+
+// State initialisation.
+s0 = 0; s1 = 0; s2 = 0; s3 = 0;
+s4 = 0; s5 = 0; s6 = 0; s7 = 0;
+w1 = 0; w2 = 0;
+energy = 0;
+peak = 0;
+rnd = seed;
+
+for (i = 0; i < n; i = i + 1) {
+    // Pseudo-random input sample (linear congruential step).
+    rnd = (rnd * 1103 + 12345) & 32767;
+    x = rnd - 16384;
+
+    // Shift the delay line (pure moves, fully parallel).
+    s7 = s6;
+    s6 = s5;
+    s5 = s4;
+    s4 = s3;
+    s3 = s2;
+    s2 = s1;
+    s1 = s0;
+    s0 = x;
+
+    // Unrolled 8-tap FIR: eight multiplies feeding an adder tree.
+    t0 = (c0 * s0) >> 8;
+    t1 = (c1 * s1) >> 8;
+    t2 = (c2 * s2) >> 8;
+    t3 = (c3 * s3) >> 8;
+    t4 = (c4 * s4) >> 8;
+    t5 = (c5 * s5) >> 8;
+    t6 = (c6 * s6) >> 8;
+    t7 = (c7 * s7) >> 8;
+    fir = ((t0 + t1) + (t2 + t3)) + ((t4 + t5) + (t6 + t7));
+
+    // Direct-form-II biquad section.
+    w = fir - (((a1 * w1) >> 8) + ((a2 * w2) >> 8));
+    biq = ((b0 * w) >> 8) + ((b1 * w1) >> 8) + ((b2 * w2) >> 8);
+    w2 = w1;
+    w1 = w;
+
+    // Cubic waveshaper: shaped = biq - biq^3 / 3 (Q8; the division by
+    // three is strength-reduced to a multiply by 85/256).
+    p1 = (biq * biq) >> 8;
+    p2 = (p1 * biq) >> 8;
+    p3 = (p2 * 85) >> 8;
+    shaped = biq - p3;
+
+    // Saturation control block.
+    if (shaped > 8192) {
+        shaped = 8192;
+    } else {
+        if (shaped < -8192) {
+            shaped = -8192;
+        }
+    }
+
+    // Peak tracking.
+    if (shaped > peak) {
+        peak = shaped;
+    }
+
+    // Energy accumulation.
+    acc = (shaped * shaped) >> 8;
+    energy = energy + (acc >> 4);
+    last = shaped;
+}
+"""
+
+#: Profiling inputs: 64 samples of pseudo-random input.
+INPUTS = {
+    "n": 64,
+    "seed": 7,
+}
+
+#: ASIC area for the Table 1 experiment (gate equivalents).
+TOTAL_AREA = 15000.0
+
+#: Budget for the exhaustive search.
+MAX_EVALUATIONS = 12000
+
+
+def load():
+    """Compile and profile the application."""
+    from repro.cdfg.builder import compile_source
+
+    return compile_source(SOURCE, name=NAME, inputs=INPUTS)

@@ -1,0 +1,71 @@
+"""Synthetic BSB-array generators for benchmarking and stress tests.
+
+Section 4.4's complexity discussion is parameterised by L (BSB count)
+and k (operations per BSB); these generators produce deterministic
+pseudo-random BSB arrays at any (L, k) point, used by the complexity
+benchmark, the PACE scaling benchmark and fuzz-style tests.
+"""
+
+from repro.bsb.bsb import LeafBSB
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+
+#: Operation mix of the generic generator (weighted towards arithmetic).
+_DEFAULT_MIX = [OpType.ADD, OpType.ADD, OpType.MUL, OpType.SUB,
+                OpType.CONST, OpType.SHIFT, OpType.CMP]
+
+
+class _Lcg:
+    """Tiny deterministic linear congruential generator."""
+
+    def __init__(self, seed):
+        self.state = (seed * 2654435761) % (2 ** 31) or 1
+
+    def next(self, bound):
+        self.state = (self.state * 1103515245 + 12345) % (2 ** 31)
+        return self.state % bound
+
+
+def synthetic_bsb(ops, seed=1, name="synth", chain_probability=0.5,
+                  mix=None, profile=1):
+    """One synthetic leaf BSB with ``ops`` operations.
+
+    ``chain_probability`` (per mille-free: evaluated as x/100 on a
+    0..99 draw) controls how often an operation depends on its
+    predecessor — 0 yields fully parallel blocks (maximum FURO), 1
+    yields chains (zero FURO).
+    """
+    rng = _Lcg(seed)
+    mix = list(mix or _DEFAULT_MIX)
+    dfg = DFG(name)
+    previous = None
+    threshold = int(chain_probability * 100)
+    for index in range(ops):
+        op = dfg.new_operation(mix[rng.next(len(mix))],
+                               label="o%d" % index)
+        if previous is not None and rng.next(100) < threshold:
+            dfg.add_dependency(previous, op)
+        previous = op
+    return LeafBSB(dfg, profile_count=profile, name=name,
+                   reads={"in_%s" % name}, writes={"out_%s" % name})
+
+
+def synthetic_bsb_array(bsb_count, ops_per_bsb, seed=7,
+                        chain_probability=0.5, mix=None):
+    """A deterministic array of ``bsb_count`` synthetic BSBs.
+
+    Profile counts ramp linearly (1, 2, ..., L) so priorities are
+    non-trivial; reads/writes chain each BSB to its successor so the
+    communication model sees realistic sequences.
+    """
+    bsbs = []
+    for index in range(bsb_count):
+        bsb = synthetic_bsb(ops_per_bsb, seed=seed + index,
+                            name="S%d" % index,
+                            chain_probability=chain_probability,
+                            mix=mix, profile=index + 1)
+        bsbs.append(bsb)
+    # Chain dataflow: each BSB reads what its predecessor wrote.
+    for previous, current in zip(bsbs, bsbs[1:]):
+        current.reads = frozenset({next(iter(previous.writes))})
+    return bsbs

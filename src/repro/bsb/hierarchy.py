@@ -1,0 +1,51 @@
+"""Flattening and pretty-printing of BSB hierarchies.
+
+The allocation algorithm represents the application "as an array of leaf
+BSBs" (section 3): the Figure-4 application becomes the array
+``[B1, B2, B3, B4, B5]``.  :func:`leaf_array` performs exactly that
+flattening; :func:`hierarchy_lines` renders the hierarchy for reports
+and the quickstart example (the right-hand side of Figure 4).
+"""
+
+from repro.bsb.bsb import BSBNode, ControlBSB, LeafBSB
+from repro.errors import CdfgError
+
+
+def leaf_array(root):
+    """Flatten a BSB hierarchy into the ordered array of leaf BSBs."""
+    if not isinstance(root, BSBNode):
+        raise CdfgError("expected a BSB hierarchy root, got %r" % (root,))
+    leaves = root.leaves()
+    if not all(isinstance(leaf, LeafBSB) for leaf in leaves):
+        raise CdfgError("hierarchy produced non-leaf entries")
+    return leaves
+
+
+def hierarchy_lines(root, indent="  "):
+    """Render the hierarchy as indented text lines (Figure 4 style)."""
+    lines = []
+
+    def visit(node, depth):
+        if isinstance(node, LeafBSB):
+            lines.append("%s%s  [DFG: %d ops, profile %d]"
+                         % (indent * depth, node.name,
+                            len(node.dfg), node.profile_count))
+            return
+        lines.append("%s%s (%s)" % (indent * depth, node.name, node.kind))
+        if isinstance(node, ControlBSB):
+            for child in node.children:
+                visit(child, depth + 1)
+
+    visit(root, 0)
+    return lines
+
+
+def total_operations(root):
+    """Total operation count across all leaf BSBs."""
+    return sum(len(leaf.dfg) for leaf in leaf_array(root))
+
+
+def weighted_operations(root):
+    """Profile-weighted operation count (executions of operations)."""
+    return sum(leaf.profile_count * len(leaf.dfg)
+               for leaf in leaf_array(root))

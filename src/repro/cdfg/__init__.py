@@ -1,0 +1,30 @@
+"""Control Data Flow Graphs (Figure 4's left-hand side).
+
+The CDFG expresses "loops, conditionals, wait-statements, functional
+hierarchy and actual computation (the Data Flow Graphs)".  The builder
+converts the mini-C AST into a CDFG whose leaves are maximal basic
+blocks, then lowers each leaf into a DFG and the whole CDFG into the
+BSB hierarchy used by the allocator and partitioner.
+"""
+
+from repro.cdfg.nodes import (
+    CdfgNode,
+    CdfgLeaf,
+    CdfgSeq,
+    CdfgLoop,
+    CdfgBranch,
+    CdfgWait,
+)
+from repro.cdfg.builder import build_cdfg, compile_source, Program
+
+__all__ = [
+    "CdfgNode",
+    "CdfgLeaf",
+    "CdfgSeq",
+    "CdfgLoop",
+    "CdfgBranch",
+    "CdfgWait",
+    "build_cdfg",
+    "compile_source",
+    "Program",
+]

@@ -1,0 +1,209 @@
+"""AST -> CDFG -> BSB pipeline and the Program container.
+
+The builder performs the Figure-4 translation: basic blocks of the AST
+become CDFG leaves; loops, conditionals and waits become inner nodes.
+Lowering then gives every leaf a DFG, profiling gives it an execution
+count, and the final pass mirrors the CDFG into the BSB hierarchy whose
+flattened leaf array feeds the allocator and PACE.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.bsb.bsb import (
+    BranchBSB,
+    LeafBSB,
+    LoopBSB,
+    SequenceBSB,
+    WaitBSB,
+)
+from repro.bsb.hierarchy import leaf_array
+from repro.cdfg.lowering import lower_all_leaves
+from repro.cdfg.nodes import (
+    CdfgBranch,
+    CdfgLeaf,
+    CdfgLoop,
+    CdfgSeq,
+    CdfgWait,
+)
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+
+
+class _CdfgBuilder:
+    """Builds the CDFG, numbering leaves B1, B2, ... in program order."""
+
+    def __init__(self):
+        self.leaf_count = 0
+
+    def _new_leaf(self, statements, cond=None):
+        self.leaf_count += 1
+        return CdfgLeaf(statements=statements, cond=cond,
+                        name="B%d" % self.leaf_count)
+
+    def build_sequence(self, statements, name=""):
+        """Build a CdfgSeq from a statement list."""
+        children = []
+        buffer = []
+
+        def flush():
+            if buffer:
+                children.append(self._new_leaf(list(buffer)))
+                buffer.clear()
+
+        for statement in statements:
+            if isinstance(statement, ast.Assign):
+                buffer.append(statement)
+            elif isinstance(statement, (ast.VarDecl, ast.InputDecl,
+                                        ast.OutputDecl)):
+                continue  # declarations produce no operations
+            elif isinstance(statement, ast.Block):
+                for nested in statement.statements:
+                    if isinstance(nested, ast.Assign):
+                        buffer.append(nested)
+                    elif isinstance(nested, (ast.VarDecl, ast.InputDecl,
+                                             ast.OutputDecl)):
+                        continue
+                    else:
+                        flush()
+                        children.append(self.build_statement(nested))
+            elif isinstance(statement, ast.For):
+                # The init assignment runs once, with the preceding code.
+                buffer.append(statement.init)
+                flush()
+                children.append(self.build_for(statement))
+            else:
+                flush()
+                children.append(self.build_statement(statement))
+        flush()
+        return CdfgSeq(children, name=name)
+
+    def build_statement(self, statement):
+        if isinstance(statement, ast.If):
+            return self.build_if(statement)
+        if isinstance(statement, ast.While):
+            return self.build_while(statement)
+        if isinstance(statement, ast.For):
+            return self.build_for(statement)
+        if isinstance(statement, ast.Wait):
+            return CdfgWait(statement.cycles)
+        raise SemanticError("unsupported statement %r at line %d"
+                            % (type(statement).__name__, statement.line))
+
+    def build_if(self, statement):
+        test = self._new_leaf([], cond=statement.cond)
+        then_body = self.build_sequence(statement.then_body.statements)
+        else_body = None
+        if statement.else_body is not None:
+            else_body = self.build_sequence(statement.else_body.statements)
+        return CdfgBranch(test, then_body, else_body)
+
+    def build_while(self, statement):
+        test = self._new_leaf([], cond=statement.cond)
+        body = self.build_sequence(statement.body.statements)
+        return CdfgLoop(test, body)
+
+    def build_for(self, statement):
+        # for (init; cond; update) body  ==  init; while (cond) {body; update}
+        # (init was already emitted into the preceding basic block).
+        test = self._new_leaf([], cond=statement.cond)
+        body_statements = list(statement.body.statements) + [statement.update]
+        body = self.build_sequence(body_statements)
+        return CdfgLoop(test, body)
+
+
+def build_cdfg(program_ast, name="main"):
+    """Build the CDFG of a parsed program."""
+    return _CdfgBuilder().build_sequence(program_ast.statements, name=name)
+
+
+def cdfg_to_bsb(node):
+    """Mirror a CDFG (with lowered, profiled leaves) into BSB nodes."""
+    if isinstance(node, CdfgLeaf):
+        return LeafBSB(node.dfg, profile_count=node.exec_count,
+                       name=node.name, reads=node.reads, writes=node.writes)
+    if isinstance(node, CdfgSeq):
+        return SequenceBSB([cdfg_to_bsb(child) for child in node.children],
+                           name=node.name)
+    if isinstance(node, CdfgLoop):
+        return LoopBSB(cdfg_to_bsb(node.test), [cdfg_to_bsb(node.body)],
+                       name=node.name)
+    if isinstance(node, CdfgBranch):
+        branches = [[cdfg_to_bsb(node.then_body)]]
+        if node.else_body is not None:
+            branches.append([cdfg_to_bsb(node.else_body)])
+        return BranchBSB(cdfg_to_bsb(node.test), branches, name=node.name)
+    if isinstance(node, CdfgWait):
+        return WaitBSB([], name=node.name)
+    raise SemanticError("cannot convert CDFG node %r" % (node,))
+
+
+@dataclass
+class Program:
+    """A compiled, profiled application ready for allocation.
+
+    Attributes:
+        name: Application name.
+        source: The mini-C source text.
+        ast: The parsed program.
+        cdfg: The CDFG root (a CdfgSeq).
+        bsb_root: The BSB hierarchy root.
+        bsbs: The flattened leaf-BSB array (empty leaves dropped).
+        inputs: The input values used for profiling.
+        final_values: Scalar variable values after the profiled run.
+        outputs: Values of the declared ``output`` variables.
+    """
+
+    name: str
+    source: str
+    ast: object
+    cdfg: object
+    bsb_root: object
+    bsbs: list
+    inputs: dict = field(default_factory=dict)
+    final_values: dict = field(default_factory=dict)
+    outputs: dict = field(default_factory=dict)
+
+    def source_lines(self):
+        """Number of non-blank source lines (the paper's Lines column)."""
+        return sum(1 for line in self.source.splitlines() if line.strip())
+
+    def bsb_by_name(self, name):
+        for bsb in self.bsbs:
+            if bsb.name == name:
+                return bsb
+        raise KeyError("no BSB named %r in %s" % (name, self.name))
+
+
+def compile_source(source, name="app", inputs=None, max_steps=5_000_000):
+    """Full pipeline: parse, build CDFG, lower, profile, build BSBs.
+
+    Args:
+        source: Mini-C source text.
+        name: Application name.
+        inputs: Mapping of ``input``-declared names to integer values
+            used for the profiling run (missing names default to 0).
+        max_steps: Profiling execution budget (statement evaluations).
+    """
+    from repro.profiling.interpreter import profile_cdfg
+
+    program_ast = parse(source)
+    cdfg = build_cdfg(program_ast, name=name)
+    lower_all_leaves(cdfg)
+    run = profile_cdfg(cdfg, program_ast, inputs=inputs,
+                       max_steps=max_steps)
+    bsb_root = cdfg_to_bsb(cdfg)
+    bsbs = [bsb for bsb in leaf_array(bsb_root) if len(bsb.dfg)]
+    outputs = {name_: run.scalars.get(name_, 0)
+               for name_ in program_ast.outputs}
+    return Program(
+        name=name,
+        source=source,
+        ast=program_ast,
+        cdfg=cdfg,
+        bsb_root=bsb_root,
+        bsbs=bsbs,
+        inputs=dict(run.inputs),
+        final_values=dict(run.scalars),
+        outputs=outputs,
+    )

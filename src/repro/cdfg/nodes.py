@@ -1,0 +1,124 @@
+"""CDFG node classes.
+
+Leaves hold the AST statements of one basic block (plus, for test
+leaves, the controlling condition expression); inner nodes mirror the
+control constructs.  Profile counts land on the leaves during
+profiling and travel with them into the BSB hierarchy.
+"""
+
+import itertools
+
+_cdfg_id_counter = itertools.count(1)
+
+
+class CdfgNode:
+    """Base class for CDFG nodes."""
+
+    kind = "node"
+
+    def __init__(self, name=""):
+        self.uid = next(_cdfg_id_counter)
+        self.name = name or "%s%d" % (self.kind, self.uid)
+
+    def leaves(self):
+        """All CDFG leaves below (or at) this node, in program order."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s(name=%r)" % (type(self).__name__, self.name)
+
+
+class CdfgLeaf(CdfgNode):
+    """A basic block: assignments, optionally ending in a condition.
+
+    Attributes:
+        statements: The ``Assign`` statements of the block, in order.
+        cond: For test leaves, the controlling condition expression.
+        exec_count: Filled in by the profiler (executions per run).
+        dfg: Filled in by the DFG lowering pass.
+        reads / writes: Live-in and defined variable names, filled in by
+            the lowering pass.
+    """
+
+    kind = "dfg"
+
+    def __init__(self, statements=None, cond=None, name=""):
+        super().__init__(name=name)
+        self.statements = list(statements or [])
+        self.cond = cond
+        self.exec_count = 0
+        self.dfg = None
+        self.reads = set()
+        self.writes = set()
+
+    def leaves(self):
+        return [self]
+
+    def is_empty(self):
+        return not self.statements and self.cond is None
+
+    def __repr__(self):
+        return "CdfgLeaf(name=%r, stmts=%d, cond=%s, count=%d)" % (
+            self.name, len(self.statements),
+            "yes" if self.cond is not None else "no", self.exec_count)
+
+
+class CdfgSeq(CdfgNode):
+    """Sequential composition."""
+
+    kind = "seq"
+
+    def __init__(self, children=None, name=""):
+        super().__init__(name=name)
+        self.children = list(children or [])
+
+    def leaves(self):
+        result = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+
+class CdfgLoop(CdfgNode):
+    """A loop: a test leaf plus a body."""
+
+    kind = "loop"
+
+    def __init__(self, test, body, name=""):
+        super().__init__(name=name)
+        self.test = test
+        self.body = body
+
+    def leaves(self):
+        return self.test.leaves() + self.body.leaves()
+
+
+class CdfgBranch(CdfgNode):
+    """A conditional: a test leaf plus then/else bodies."""
+
+    kind = "branch"
+
+    def __init__(self, test, then_body, else_body=None, name=""):
+        super().__init__(name=name)
+        self.test = test
+        self.then_body = then_body
+        self.else_body = else_body
+
+    def leaves(self):
+        result = self.test.leaves() + self.then_body.leaves()
+        if self.else_body is not None:
+            result.extend(self.else_body.leaves())
+        return result
+
+
+class CdfgWait(CdfgNode):
+    """A wait statement."""
+
+    kind = "wait"
+
+    def __init__(self, cycles, name=""):
+        super().__init__(name=name)
+        self.cycles = cycles
+
+    def leaves(self):
+        return []

@@ -1,0 +1,250 @@
+"""Command-line driver: regenerate the paper's tables and figures.
+
+Usage (after ``pip install -e .``)::
+
+    lycos-repro table1              # Table 1 (runs the exhaustive search)
+    lycos-repro table1 --apps hal   # a subset of the benchmarks
+    lycos-repro fig3 --app hal      # Figure 3's trade-off sweep
+    lycos-repro s51 --app man       # section 5.1 controller optimism
+    lycos-repro iterate --app eigen # the man/eigen design-iteration fix
+    lycos-repro apps                # benchmark inventory
+    lycos-repro allocate --app hal  # just run Algorithm 1, with trace
+
+or ``python -m repro <command>``.
+"""
+
+import argparse
+import sys
+
+from repro.apps.registry import application_names, application_spec
+from repro.core.allocator import allocate
+from repro.hwlib.library import default_library
+from repro.report.experiments import (
+    design_iteration_report,
+    fig3_sweep,
+    render_fig3,
+    render_s51,
+    render_table1,
+    s51_controller_rows,
+    table1_rows,
+)
+
+
+def _add_app_argument(parser, default="hal"):
+    parser.add_argument("--app", default=default,
+                        choices=application_names(),
+                        help="benchmark application (default: %(default)s)")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="lycos-repro",
+        description="Reproduction of the LYCOS hardware resource "
+                    "allocation system (DATE 1998).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser(
+        "table1", help="regenerate Table 1 (allocation quality)")
+    table1.add_argument("--apps", nargs="*", default=None,
+                        choices=application_names(),
+                        help="subset of benchmarks (default: all four)")
+    table1.add_argument("--budget", type=int, default=None,
+                        help="override the exhaustive-search budget")
+
+    fig3 = commands.add_parser(
+        "fig3", help="regenerate Figure 3's data-path budget sweep")
+    _add_app_argument(fig3)
+
+    s51 = commands.add_parser(
+        "s51", help="section 5.1: controller-estimate optimism")
+    _add_app_argument(s51, default="man")
+
+    iterate = commands.add_parser(
+        "iterate", help="the reduce-only design iteration (man/eigen fix)")
+    _add_app_argument(iterate, default="man")
+
+    commands.add_parser("apps", help="list the benchmark applications")
+
+    alloc = commands.add_parser(
+        "allocate", help="run Algorithm 1 on one benchmark, with trace")
+    _add_app_argument(alloc)
+    alloc.add_argument("--area", type=float, default=None,
+                       help="override the ASIC area (gate equivalents)")
+
+    multi = commands.add_parser(
+        "multiasic", help="multi-ASIC co-design (future-work extension)")
+    _add_app_argument(multi, default="eigen")
+    multi.add_argument("--chips", type=int, default=2,
+                       help="number of ASICs to split the area across")
+
+    overheads = commands.add_parser(
+        "overheads",
+        help="interconnect/storage charging (future-work extension)")
+    _add_app_argument(overheads, default="man")
+
+    export = commands.add_parser(
+        "export", help="export Graphviz DOT for a benchmark")
+    _add_app_argument(export)
+    export.add_argument("--what", default="bsb",
+                        choices=["dfg", "cdfg", "bsb"],
+                        help="graph to export (dfg = hottest BSB's DFG)")
+    return parser
+
+
+def cmd_table1(args):
+    rows = table1_rows(names=args.apps, max_evaluations=args.budget)
+    print(render_table1(rows))
+    for row in rows:
+        print()
+        print("%s: allocation      %s" % (row.name, row.allocation))
+        print("%s: best allocation %s" % (row.name, row.best_allocation))
+
+
+def cmd_fig3(args):
+    points = fig3_sweep(name=args.app)
+    print(render_fig3(points, name=args.app))
+
+
+def cmd_s51(args):
+    rows = s51_controller_rows(args.app)
+    print(render_s51(rows, args.app))
+    optimistic = sum(1 for row in rows if row["ratio"] > 1.0)
+    print("\n%d of %d BSBs have an actual controller larger than the "
+          "optimistic ECA." % (optimistic, len(rows)))
+
+
+def cmd_iterate(args):
+    report = design_iteration_report(args.app)
+    print("Design iteration on %s" % report["name"])
+    print("  initial allocation: %s" % report["initial_allocation"])
+    print("  initial speed-up:   %.0f%%" % report["initial_speedup"])
+    for step in report["steps"]:
+        print("  step: %s" % step)
+    print("  final allocation:   %s" % report["final_allocation"])
+    print("  final speed-up:     %.0f%%" % report["final_speedup"])
+
+
+def cmd_apps(args):
+    from repro.apps.registry import load_application
+
+    for name in application_names():
+        spec = application_spec(name)
+        program = load_application(name)
+        ops = sum(len(bsb.dfg) for bsb in program.bsbs)
+        print("%-9s %4d lines  %3d BSBs  %5d operations  "
+              "ASIC area %.0f  (paper: SU %.0f%%/%.0f%%)"
+              % (name, program.source_lines(), len(program.bsbs), ops,
+                 spec.total_area, spec.paper_su, spec.paper_su_best))
+
+
+def cmd_allocate(args):
+    from repro.apps.registry import load_application
+
+    library = default_library()
+    spec = application_spec(args.app)
+    area = args.area if args.area is not None else spec.total_area
+    program = load_application(args.app)
+    result = allocate(program.bsbs, library, area=area, keep_trace=True)
+    print("Algorithm 1 on %s (area %.0f):" % (args.app, area))
+    for line in result.trace_lines():
+        print("  " + line)
+    print("allocation:      %s" % result.allocation)
+    print("pseudo partition: %d of %d BSBs in hardware"
+          % (len(result.hw_bsb_names), len(program.bsbs)))
+    print("area: datapath %.0f + controllers %.0f, remaining %.0f"
+          % (result.datapath_area, result.controller_area,
+             result.remaining_area))
+    print("runtime: %.3f s" % result.runtime_seconds)
+
+
+def cmd_multiasic(args):
+    from repro.apps.registry import load_application
+    from repro.partition.multi_asic import multi_asic_codesign
+
+    library = default_library()
+    spec = application_spec(args.app)
+    if args.chips < 1:
+        raise SystemExit("--chips must be >= 1")
+    program = load_application(args.app)
+    areas = [spec.total_area / args.chips] * args.chips
+    result = multi_asic_codesign(program.bsbs, library, areas)
+    print("%s across %d ASIC(s) of %.0f GE each:"
+          % (args.app, args.chips, areas[0]))
+    for plan in result.asics:
+        print("  ASIC %d: %d BSBs, data-path %.0f GE, saving %.0f "
+              "cycles" % (plan.index + 1, len(plan.hw_names),
+                          plan.datapath_area, plan.saving))
+        print("          %s" % plan.allocation)
+    print("total speed-up: %.0f%%" % result.speedup)
+
+
+def cmd_overheads(args):
+    from repro.apps.registry import load_application
+    from repro.core.iteration import design_iteration
+    from repro.hwlib.overheads import OverheadModel
+    from repro.partition.evaluate import evaluate_allocation
+    from repro.partition.model import TargetArchitecture
+
+    library = default_library()
+    spec = application_spec(args.app)
+    program = load_application(args.app)
+    architecture = TargetArchitecture(library=library,
+                                      total_area=spec.total_area)
+    allocation = allocate(program.bsbs, library,
+                          area=spec.total_area).allocation
+    model = OverheadModel()
+    plain = evaluate_allocation(program.bsbs, allocation, architecture)
+    charged = evaluate_allocation(program.bsbs, allocation, architecture,
+                                  overhead_model=model)
+    print("%s allocation: %s" % (args.app, allocation))
+    print("SU ignoring interconnect/storage: %.0f%%" % plain.speedup)
+    print("SU charging %.0f GE of overheads:  %.0f%%"
+          % (charged.overhead_area, charged.speedup))
+    iterated = design_iteration(program.bsbs, allocation, architecture,
+                                overhead_model=model)
+    print("overhead-aware design iteration -> %.0f%%:"
+          % iterated.final_evaluation.speedup)
+    for step in iterated.steps:
+        print("  %s" % step)
+
+
+def cmd_export(args):
+    from repro.apps.registry import load_application
+    from repro.swmodel.estimator import bsb_software_time
+    from repro.swmodel.processor import default_processor
+    from repro.viz.dot import bsb_hierarchy_to_dot, cdfg_to_dot, dfg_to_dot
+
+    program = load_application(args.app)
+    if args.what == "cdfg":
+        print(cdfg_to_dot(program.cdfg, name=args.app))
+    elif args.what == "bsb":
+        print(bsb_hierarchy_to_dot(program.bsb_root, name=args.app))
+    else:
+        processor = default_processor()
+        hottest = max(program.bsbs,
+                      key=lambda bsb: bsb_software_time(bsb, processor))
+        print(dfg_to_dot(hottest.dfg, name="%s_%s"
+                         % (args.app, hottest.name)))
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "fig3": cmd_fig3,
+    "s51": cmd_s51,
+    "iterate": cmd_iterate,
+    "apps": cmd_apps,
+    "allocate": cmd_allocate,
+    "multiasic": cmd_multiasic,
+    "overheads": cmd_overheads,
+    "export": cmd_export,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

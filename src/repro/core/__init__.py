@@ -1,0 +1,48 @@
+"""The paper's primary contribution: the hardware allocation algorithm.
+
+This package implements sections 4–4.4 of the paper:
+
+* :mod:`repro.core.rmap` — the RMap resource-map algebra (Definition 1);
+* :mod:`repro.core.furo` — the Functional Unit Request Overlap metric and
+  the dynamic urgency values U(o, B) (Definitions 2 and 3);
+* :mod:`repro.core.priority` — BSB prioritisation (Definition 4);
+* :mod:`repro.core.eca` — the Estimated Controller Area (section 4.2);
+* :mod:`repro.core.restrictions` — ASAP-parallelism caps (section 4.3);
+* :mod:`repro.core.allocator` — Algorithm 1 itself;
+* :mod:`repro.core.exhaustive` — the exhaustive allocation search used as
+  the evaluation baseline (section 5);
+* :mod:`repro.core.iteration` — the single-design-iteration refinement
+  the paper applies to ``man`` and ``eigen`` (sections 5 and 5.1).
+"""
+
+from repro.core.rmap import RMap
+from repro.core.eca import estimated_controller_area, estimated_states
+from repro.core.furo import furo, allocated_units_for, UrgencyState
+from repro.core.priority import prioritize, bsb_priority_key
+from repro.core.restrictions import asap_restrictions
+from repro.core.allocator import allocate, AllocationResult
+from repro.core.exhaustive import (
+    enumerate_allocations,
+    exhaustive_best_allocation,
+    ExhaustiveResult,
+)
+from repro.core.iteration import design_iteration, IterationResult
+
+__all__ = [
+    "RMap",
+    "estimated_controller_area",
+    "estimated_states",
+    "furo",
+    "allocated_units_for",
+    "UrgencyState",
+    "prioritize",
+    "bsb_priority_key",
+    "asap_restrictions",
+    "allocate",
+    "AllocationResult",
+    "enumerate_allocations",
+    "exhaustive_best_allocation",
+    "ExhaustiveResult",
+    "design_iteration",
+    "IterationResult",
+]

@@ -1,0 +1,164 @@
+"""Exhaustive allocation search (the paper's evaluation baseline).
+
+Section 5: "the PACE algorithm is used to generate a partition of the
+application for all possible allocations.  Through this exhaustive
+search, the allocation that gives the best partitioning result in terms
+of speed-up is marked as the best allocation."
+
+The search space is the cross product of per-resource counts from zero
+up to the ASAP-parallelism restriction caps.  The paper's footnote notes
+the eigen benchmark has about a million allocations and could not be
+exhausted; :func:`exhaustive_best_allocation` therefore accepts a
+``max_evaluations`` budget and an even-stride sampling mode for such
+spaces.
+"""
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.core.allocator import required_resources
+from repro.core.restrictions import asap_restrictions
+from repro.core.rmap import RMap
+from repro.errors import AllocationError
+from repro.partition.evaluate import evaluate_allocation
+
+
+def allocation_space(bsbs, library, restrictions=None):
+    """(resource names, per-resource count ranges) of the search space.
+
+    Only resources some BSB actually needs are enumerated; counts range
+    from 0 to the restriction cap of each resource.
+    """
+    if restrictions is None:
+        restrictions = asap_restrictions(bsbs, library)
+    needed = RMap()
+    for bsb in bsbs:
+        needed = needed | required_resources(bsb, library)
+    names = needed.names()
+    ranges = [range(0, max(1, restrictions[name]) + 1) for name in names]
+    return names, ranges
+
+
+def space_size(bsbs, library, restrictions=None):
+    """Number of allocations the exhaustive search would visit."""
+    _, ranges = allocation_space(bsbs, library, restrictions=restrictions)
+    size = 1
+    for counts in ranges:
+        size *= len(counts)
+    return size
+
+
+def enumerate_allocations(bsbs, library, restrictions=None, stride=1):
+    """Yield every allocation in the search space (RMap instances).
+
+    ``stride`` > 1 yields every stride-th allocation in lexicographic
+    order (kept for deterministic partial scans; for *searching* large
+    spaces prefer :func:`sample_allocations`, which is unbiased).
+    """
+    if stride < 1:
+        raise AllocationError("stride must be >= 1, got %r" % (stride,))
+    names, ranges = allocation_space(bsbs, library,
+                                     restrictions=restrictions)
+    for index, counts in enumerate(itertools.product(*ranges)):
+        if index % stride:
+            continue
+        yield RMap({name: count
+                    for name, count in zip(names, counts) if count})
+
+
+def sample_allocations(bsbs, library, count, restrictions=None, seed=1998):
+    """Yield ``count`` pseudo-random allocations from the space.
+
+    Sampling is uniform and reproducible (fixed seed); duplicates are
+    possible for tiny spaces but the caller only cares about the best
+    evaluation found.  Used when the space is too large to exhaust —
+    the situation the paper's eigen footnote describes.
+    """
+    names, ranges = allocation_space(bsbs, library,
+                                     restrictions=restrictions)
+    generator = random.Random(seed)
+    for _ in range(count):
+        yield RMap({name: value for name, value in
+                    ((name, generator.randrange(len(counts)))
+                     for name, counts in zip(names, ranges)) if value})
+
+
+@dataclass
+class ExhaustiveResult:
+    """Outcome of the exhaustive (or sampled) allocation search.
+
+    Attributes:
+        best_allocation: Allocation with the highest PACE speed-up.
+        best_evaluation: Its full :class:`AllocationEvaluation`.
+        evaluations: Number of allocations evaluated.
+        space: Total size of the allocation space.
+        sampled: True when stride sampling was used.
+        history: Optional list of (allocation, speedup) pairs.
+    """
+
+    best_allocation: RMap
+    best_evaluation: object
+    evaluations: int
+    space: int
+    sampled: bool
+    history: list = field(default_factory=list)
+
+
+def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
+                               max_evaluations=None, area_quanta=200,
+                               keep_history=False):
+    """Search the allocation space for the best-speed-up allocation.
+
+    When the space exceeds ``max_evaluations``, that many pseudo-random
+    allocations are evaluated instead (the result is then marked
+    ``sampled`` — matching the paper's treatment of eigen, where the
+    "best" allocation came from numerous experiments rather than full
+    enumeration).
+    """
+    library = architecture.library
+    total = space_size(bsbs, library, restrictions=restrictions)
+    sampled = (max_evaluations is not None and total > max_evaluations)
+    if sampled:
+        candidates = sample_allocations(bsbs, library, max_evaluations,
+                                        restrictions=restrictions)
+    else:
+        candidates = enumerate_allocations(bsbs, library,
+                                           restrictions=restrictions)
+
+    cache = {}
+    best_eval = None
+    best_allocation = None
+    evaluations = 0
+    history = []
+    for allocation in candidates:
+        if allocation.area(library) > architecture.total_area:
+            continue
+        evaluation = evaluate_allocation(bsbs, allocation, architecture,
+                                         area_quanta=area_quanta,
+                                         cache=cache)
+        evaluations += 1
+        if keep_history:
+            history.append((allocation, evaluation.speedup))
+        if best_eval is None or _better(evaluation, best_eval, library):
+            best_eval = evaluation
+            best_allocation = allocation
+
+    if best_eval is None:
+        raise AllocationError("no feasible allocation fits the ASIC area")
+    return ExhaustiveResult(
+        best_allocation=best_allocation,
+        best_evaluation=best_eval,
+        evaluations=evaluations,
+        space=total,
+        sampled=sampled,
+        history=history,
+    )
+
+
+def _better(candidate, incumbent, library):
+    """Higher speed-up wins; ties go to the smaller data-path."""
+    if candidate.speedup != incumbent.speedup:
+        return candidate.speedup > incumbent.speedup
+    return (candidate.allocation.area(library)
+            < incumbent.allocation.area(library))

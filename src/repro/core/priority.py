@@ -1,0 +1,22 @@
+"""BSB prioritisation (Definition 4, section 4.1).
+
+``B_k -> B_l`` (B_k has priority over B_l) iff
+``max_o U(o, B_k) >= max_o U(o, B_l)``.  The sort is stable with a
+deterministic tie-break on the BSB's position in the original array, so
+equal-urgency BSBs keep program order — which also makes the allocator's
+"restart from the front after every allocation change" loop reproducible.
+"""
+
+
+def bsb_priority_key(bsb, state, hw_uids, allocation, original_index=0):
+    """Sort key: descending max urgency, then original array position."""
+    value, _ = state.max_urgency(bsb, bsb.uid in hw_uids, allocation)
+    return (-value, original_index)
+
+
+def prioritize(bsbs, state, hw_uids, allocation):
+    """Return the BSB array sorted by Definition 4's priority relation."""
+    indexed = list(enumerate(bsbs))
+    indexed.sort(key=lambda pair: bsb_priority_key(
+        pair[1], state, hw_uids, allocation, original_index=pair[0]))
+    return [bsb for _, bsb in indexed]

@@ -1,0 +1,44 @@
+"""Allocation restrictions from ASAP parallelism (section 4.3).
+
+The greedy allocator could otherwise keep adding units of one type; the
+ASAP schedule bounds how many same-type operations can ever execute in
+parallel, so allocating beyond that peak can never help.  The cap for a
+resource is the highest per-control-step count of any operation type it
+executes, maximised over all BSBs.
+"""
+
+from repro.core.rmap import RMap
+from repro.sched.asap import asap_schedule
+
+
+def asap_type_parallelism(bsbs, library=None):
+    """Per op type, the max same-step count over all BSB ASAP schedules."""
+    peaks = {}
+    for bsb in bsbs:
+        schedule = asap_schedule(bsb.dfg, library=library)
+        for optype, count in schedule.max_type_parallelism().items():
+            if count > peaks.get(optype, 0):
+                peaks[optype] = count
+    return peaks
+
+
+def asap_restrictions(bsbs, library):
+    """Restriction RMap: resource name -> max allocatable instances."""
+    peaks = asap_type_parallelism(bsbs, library=library)
+    restrictions = RMap()
+    for optype, peak in peaks.items():
+        if not library.supports(optype):
+            continue
+        resource = library.resource_for(optype)
+        # A multi-function unit inherits the largest peak among its types.
+        if peak > restrictions[resource.name]:
+            restrictions[resource.name] = peak
+    return restrictions
+
+
+def relax_restrictions(restrictions, factor):
+    """Scale every cap by ``factor`` (ablation helper; ceil, min 1)."""
+    relaxed = RMap()
+    for name, count in restrictions.items():
+        relaxed[name] = max(1, int(count * factor + 0.999999))
+    return relaxed

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the LYCOS reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LangError(ReproError):
+    """Base class for frontend (lexing/parsing) errors."""
+
+
+class LexerError(LangError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+    def __init__(self, message, line, column):
+        super().__init__("%s (line %d, column %d)" % (message, line, column))
+        self.line = line
+        self.column = column
+
+
+class ParseError(LangError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = " (line %d" % line
+            if column is not None:
+                location += ", column %d" % column
+            location += ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SemanticError(LangError):
+    """Raised for semantic violations (undefined variables, bad types)."""
+
+
+class CdfgError(ReproError):
+    """Raised for malformed control/data-flow graphs."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a DFG cannot be scheduled (cycles, missing resources)."""
+
+
+class ResourceError(ReproError):
+    """Raised for unknown resources or inconsistent resource libraries."""
+
+
+class AllocationError(ReproError):
+    """Raised when the allocation algorithm receives invalid inputs."""
+
+
+class PartitionError(ReproError):
+    """Raised when the PACE partitioner receives invalid inputs."""
+
+
+class InterpreterError(ReproError):
+    """Raised when profiling execution of an application fails."""

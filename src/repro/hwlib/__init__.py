@@ -1,0 +1,14 @@
+"""Hardware resource library: functional units, areas and technology.
+
+The allocation algorithm allocates *resources* (adders, multipliers,
+dividers, constant generators, ...) to the ASIC data-path.  Each resource
+has an area in gate equivalents and a latency in control steps; the
+technology object provides the gate areas used by the Estimated
+Controller Area formula.
+"""
+
+from repro.hwlib.technology import Technology
+from repro.hwlib.resources import Resource
+from repro.hwlib.library import ResourceLibrary, default_library
+
+__all__ = ["Technology", "Resource", "ResourceLibrary", "default_library"]

@@ -1,0 +1,146 @@
+"""Resource libraries: the catalogue the allocator draws units from.
+
+The library answers the two questions the allocation algorithm asks:
+
+* ``resource_for(optype)`` — which unit executes a given operation type
+  (the paper's core algorithm assumes a designated unit per type);
+* ``candidates_for(optype)`` — all units able to execute the type (used
+  by the module-selection extension the paper lists as future work).
+"""
+
+from repro.errors import ResourceError
+from repro.hwlib.resources import Resource, single_function
+from repro.hwlib.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.ir.ops import OpType
+
+
+class ResourceLibrary:
+    """A named collection of :class:`~repro.hwlib.resources.Resource`.
+
+    Each operation type has exactly one *default* resource (the first
+    registered unit executing it, unless overridden via
+    :meth:`set_default`); additional units executing the same type are
+    retained as module-selection candidates.
+    """
+
+    def __init__(self, name="library", technology=None):
+        self.name = name
+        self.technology = (technology if technology is not None
+                           else DEFAULT_TECHNOLOGY)
+        if not isinstance(self.technology, Technology):
+            raise ResourceError("technology must be a Technology instance")
+        self._resources = {}
+        self._defaults = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, resource):
+        """Register a resource; returns it for chaining."""
+        if not isinstance(resource, Resource):
+            raise ResourceError("expected a Resource, got %r" % (resource,))
+        if resource.name in self._resources:
+            raise ResourceError("duplicate resource name %r in library %r"
+                                % (resource.name, self.name))
+        self._resources[resource.name] = resource
+        for optype in resource.optypes:
+            self._defaults.setdefault(optype, resource.name)
+        return resource
+
+    def add_single(self, name, optype, area, latency=1):
+        """Register a single-function resource."""
+        return self.add(single_function(name, optype, area, latency=latency))
+
+    def set_default(self, optype, resource_name):
+        """Make ``resource_name`` the designated unit for ``optype``."""
+        resource = self.get(resource_name)
+        if not resource.executes(optype):
+            raise ResourceError("resource %r cannot execute %s"
+                                % (resource_name, optype))
+        self._defaults[optype] = resource_name
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, name):
+        """Return the resource with the given name."""
+        try:
+            return self._resources[name]
+        except KeyError:
+            raise ResourceError("no resource named %r in library %r"
+                                % (name, self.name)) from None
+
+    def __contains__(self, name):
+        return name in self._resources
+
+    def __iter__(self):
+        return iter(self.resources())
+
+    def __len__(self):
+        return len(self._resources)
+
+    def resources(self):
+        """All resources in deterministic (name) order."""
+        return [self._resources[name] for name in sorted(self._resources)]
+
+    def resource_for(self, optype):
+        """The designated resource executing ``optype``.
+
+        Raises :class:`ResourceError` if the library has no unit for the
+        type — the application then simply cannot be moved to hardware.
+        """
+        try:
+            return self._resources[self._defaults[optype]]
+        except KeyError:
+            raise ResourceError(
+                "library %r has no resource executing %s"
+                % (self.name, optype)) from None
+
+    def supports(self, optype):
+        """True if some resource executes ``optype``."""
+        return optype in self._defaults
+
+    def candidates_for(self, optype):
+        """All resources executing ``optype`` (module-selection extension)."""
+        return [resource for resource in self.resources()
+                if resource.executes(optype)]
+
+    def area_of(self, resource_name):
+        """Area of one instance of the named resource."""
+        return self.get(resource_name).area
+
+    def optypes_covered(self):
+        """All operation types executable by some resource."""
+        return set(self._defaults)
+
+    def __repr__(self):
+        return "ResourceLibrary(name=%r, resources=%d)" % (
+            self.name, len(self._resources))
+
+
+def default_library(technology=None):
+    """The resource library used by the paper reproduction.
+
+    Areas are in gate equivalents, calibrated so that a multiplier is an
+    order of magnitude larger than an adder and a divider larger still —
+    the relative magnitudes that drive the paper's trade-off (section 2).
+    Latencies are control steps at the data-path clock.
+    """
+    library = ResourceLibrary(name="lycos-default", technology=technology)
+    library.add_single("adder", OpType.ADD, area=120.0, latency=1)
+    library.add_single("subtractor", OpType.SUB, area=120.0, latency=1)
+    library.add_single("multiplier", OpType.MUL, area=1000.0, latency=2)
+    library.add_single("divider", OpType.DIV, area=1800.0, latency=4)
+    library.add_single("mod-unit", OpType.MOD, area=1800.0, latency=4)
+    library.add_single("constgen", OpType.CONST, area=16.0, latency=1)
+    library.add_single("comparator", OpType.CMP, area=60.0, latency=1)
+    library.add_single("shifter", OpType.SHIFT, area=80.0, latency=1)
+    library.add_single("and-unit", OpType.AND, area=30.0, latency=1)
+    library.add_single("or-unit", OpType.OR, area=30.0, latency=1)
+    library.add_single("xor-unit", OpType.XOR, area=35.0, latency=1)
+    library.add_single("not-unit", OpType.NOT, area=12.0, latency=1)
+    library.add_single("negator", OpType.NEG, area=60.0, latency=1)
+    library.add_single("mover", OpType.MOV, area=20.0, latency=1)
+    library.add_single("mem-read", OpType.LOAD, area=90.0, latency=2)
+    library.add_single("mem-write", OpType.STORE, area=90.0, latency=2)
+    return library

@@ -1,0 +1,127 @@
+"""Interconnect and storage area estimates (future-work extension).
+
+The paper: "aspects such as incorporating interconnect and storage size
+estimates would be interesting to look into" — the core algorithm
+"considers only the functional resources, i.e. interconnect and storage
+resources are not considered" (section 4).
+
+This module supplies first-order estimates so the evaluation can charge
+them against the ASIC area:
+
+* **Interconnect**: every functional unit has two operand inputs, each
+  fed by a multiplexer whose fan-in grows with the number of value
+  sources (all other units).  An n:1 multiplexer costs ``n - 1`` 2:1
+  multiplexers per bit; a 2:1 mux-bit is one AND + one OR + one
+  inverter in the technology's gate areas.  The quadratic growth in the
+  unit count is the classic reason over-allocation hurts beyond the
+  units' own area.
+* **Storage**: operation results that live across control steps need
+  registers.  The ASAP peak step width (results produced in one step)
+  over the BSBs bounds the simultaneously-live values; each costs a
+  word register.
+
+Both models are deliberately simple, parameterised and documented —
+the point of the extension is to let the evaluation *see* these costs,
+not to be a floorplanner.
+"""
+
+from dataclasses import dataclass
+
+from repro.hwlib.technology import DEFAULT_TECHNOLOGY
+from repro.ir.ops import OpType
+from repro.sched.asap import asap_schedule
+
+#: Operand inputs per operation type: constant generators have none
+#: (they are sources), unary units one, everything else two.
+_ZERO_INPUT_TYPES = frozenset({OpType.CONST})
+_ONE_INPUT_TYPES = frozenset({OpType.NOT, OpType.NEG, OpType.MOV,
+                              OpType.LOAD, OpType.SHIFT})
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Parameters of the interconnect/storage estimate.
+
+    Attributes:
+        word_width_factor: Scales mux-bit cost to the data-path word
+            width (1.0 = per-bit abstract units; the 0.1 default keeps
+            overheads subordinate to functional areas, matching the
+            paper's implicit assumption that they matter but do not
+            dominate).
+        register_words: Extra architectural registers (state that lives
+            across BSBs) always present.
+    """
+
+    word_width_factor: float = 0.1
+    register_words: int = 4
+
+    def mux_bit_area(self, technology):
+        """Area of one 2:1 multiplexer bit."""
+        return (technology.and_gate_area + technology.or_gate_area
+                + technology.inverter_area)
+
+
+DEFAULT_OVERHEAD_MODEL = OverheadModel()
+
+
+def _operand_inputs(resource):
+    """Muxed operand inputs of one instance of ``resource``."""
+    worst = 0
+    for optype in resource.optypes:
+        if optype in _ZERO_INPUT_TYPES:
+            inputs = 0
+        elif optype in _ONE_INPUT_TYPES:
+            inputs = 1
+        else:
+            inputs = 2
+        if inputs > worst:
+            worst = inputs
+    return worst
+
+
+def interconnect_area(allocation, library, model=None):
+    """Multiplexer area implied by an allocation.
+
+    With ``u`` total units (value sources), each operand input needs a
+    ``u``:1 mux = ``u - 1`` 2:1 mux-bits (times the word factor).
+    Constant generators contribute sources but no inputs, so an
+    allocation stuffed with them still pays for the widened muxes in
+    front of every arithmetic unit — the quadratic growth that makes
+    over-allocation hurt beyond the units' own area.
+    """
+    model = model or DEFAULT_OVERHEAD_MODEL
+    technology = library.technology
+    units = 0
+    inputs = 0
+    for name, count in allocation.items():
+        resource = library.get(name)
+        units += count
+        inputs += count * _operand_inputs(resource)
+    if units <= 1 or inputs == 0:
+        return 0.0
+    mux_bits_per_input = units - 1
+    return (inputs * mux_bits_per_input
+            * model.mux_bit_area(technology) * model.word_width_factor)
+
+
+def storage_area(bsbs, library, model=None):
+    """Register area for values live inside hardware BSBs."""
+    model = model or DEFAULT_OVERHEAD_MODEL
+    technology = library.technology
+    peak_live = 0
+    for bsb in bsbs:
+        if not len(bsb.dfg):
+            continue
+        schedule = asap_schedule(bsb.dfg, library=library)
+        for step in range(1, schedule.length + 1):
+            width = len(schedule.operations_starting_at(step))
+            if width > peak_live:
+                peak_live = width
+    words = peak_live + model.register_words
+    return words * technology.register_area * model.word_width_factor
+
+
+def total_overhead_area(allocation, bsbs, library, model=None):
+    """Interconnect plus storage area for an allocation."""
+    return (interconnect_area(allocation, library, model=model)
+            + storage_area(bsbs, library, model=model))

@@ -1,0 +1,61 @@
+"""Functional-unit resources allocatable to the hardware data-path."""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ResourceError
+from repro.ir.ops import OpType
+
+
+@dataclass(frozen=True)
+class Resource:
+    """A functional unit type that can be allocated to the data-path.
+
+    Attributes:
+        name: Unique name within a :class:`~repro.hwlib.library.ResourceLibrary`
+            (e.g. ``"adder"``).
+        optypes: The operation types this unit can execute.  The core
+            algorithm of the paper assumes a one-to-one mapping between
+            operation types and resources; multi-function units (ALUs)
+            are supported as the paper's "future work" extension and are
+            exercised by the module-selection ablation.
+        area: Data-path area of one instance, in gate equivalents.
+        latency: Execution latency in control steps (>= 1).
+    """
+
+    name: str
+    optypes: frozenset = field(default_factory=frozenset)
+    area: float = 1.0
+    latency: int = 1
+
+    def __post_init__(self):
+        if not self.name:
+            raise ResourceError("resource must have a non-empty name")
+        if not self.optypes:
+            raise ResourceError("resource %r executes no operation types"
+                                % self.name)
+        for optype in self.optypes:
+            if not isinstance(optype, OpType):
+                raise ResourceError(
+                    "resource %r optypes must be OpType values, got %r"
+                    % (self.name, optype))
+        if self.area <= 0:
+            raise ResourceError("resource %r has non-positive area %r"
+                                % (self.name, self.area))
+        if self.latency < 1:
+            raise ResourceError("resource %r has latency %r < 1"
+                                % (self.name, self.latency))
+
+    def executes(self, optype):
+        """True if this resource can execute operations of ``optype``."""
+        return optype in self.optypes
+
+    def __str__(self):
+        ops = ",".join(sorted(op.value for op in self.optypes))
+        return "%s(area=%g, latency=%d, ops=%s)" % (
+            self.name, self.area, self.latency, ops)
+
+
+def single_function(name, optype, area, latency=1):
+    """Create a resource that executes exactly one operation type."""
+    return Resource(name=name, optypes=frozenset({optype}),
+                    area=area, latency=latency)

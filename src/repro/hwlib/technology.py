@@ -1,0 +1,50 @@
+"""Technology description: areas of the primitive gates.
+
+The Estimated Controller Area formula of the paper (section 4.2, taken
+from Knudsen's thesis [6]) is expressed in the areas of a register, an
+and-gate, an or-gate and an inverter:
+
+    ECA = A_R + A_AG + A_OG + log2(N) * A_R + (N - 1) * (A_IG + 2 * A_AG)
+
+All areas in this library are in *gate equivalents* of the chosen
+technology.  The default constants treat each term of the formula as a
+datapath-width macro (a state register is a registered one-hot/encoded
+word with its clocking, not a single flip-flop), which puts controller
+areas on the same scale as functional units — the proportion the
+paper's Figure 2 depicts and the one that makes the data-path vs
+controller-room trade-off (Figure 3) a real tension.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Gate areas (gate equivalents) of a target ASIC technology.
+
+    Attributes:
+        name: Identifier of the technology.
+        register_area: Area of a 1-bit state register (A_R).
+        and_gate_area: Area of a 2-input and-gate (A_AG).
+        or_gate_area: Area of a 2-input or-gate (A_OG).
+        inverter_area: Area of an inverter (A_IG).
+    """
+
+    name: str = "generic-ge"
+    register_area: float = 64.0
+    and_gate_area: float = 8.0
+    or_gate_area: float = 8.0
+    inverter_area: float = 4.0
+
+    def validate(self):
+        """Raise ``ValueError`` if any gate area is non-positive."""
+        for attr in ("register_area", "and_gate_area",
+                     "or_gate_area", "inverter_area"):
+            if getattr(self, attr) <= 0:
+                raise ValueError("%s must be positive, got %r"
+                                 % (attr, getattr(self, attr)))
+        return self
+
+
+#: The technology used throughout the reproduction unless overridden.
+DEFAULT_TECHNOLOGY = Technology()

@@ -1,0 +1,24 @@
+"""Serialisation: JSON persistence for allocations and evaluations.
+
+Lets a design flow save Algorithm 1's output, reload it in a later
+session (or a different tool) and re-evaluate — the "allocation as a
+design artefact" workflow LYCOS's interactive environment supported.
+"""
+
+from repro.io.serialize import (
+    allocation_to_dict,
+    allocation_from_dict,
+    allocation_result_to_dict,
+    evaluation_to_dict,
+    save_json,
+    load_json,
+)
+
+__all__ = [
+    "allocation_to_dict",
+    "allocation_from_dict",
+    "allocation_result_to_dict",
+    "evaluation_to_dict",
+    "save_json",
+    "load_json",
+]

@@ -1,0 +1,96 @@
+"""JSON (de)serialisation of allocation artefacts.
+
+Formats are plain dictionaries with a ``kind`` discriminator and a
+``version`` field so future layout changes stay detectable.  Only data
+is serialised — libraries and applications are code, and a loaded
+allocation is re-validated against the library it is applied to.
+"""
+
+import json
+
+from repro.core.rmap import RMap
+from repro.errors import ReproError
+
+FORMAT_VERSION = 1
+
+
+def allocation_to_dict(allocation):
+    """Serialise an RMap (or dict) allocation."""
+    allocation = RMap._coerce(allocation)
+    return {
+        "kind": "allocation",
+        "version": FORMAT_VERSION,
+        "units": allocation.as_dict(),
+    }
+
+
+def allocation_from_dict(data, library=None):
+    """Deserialise an allocation; optionally validate against a library.
+
+    Raises :class:`ReproError` for wrong kinds, versions, or (when a
+    library is given) resource names the library does not know.
+    """
+    if not isinstance(data, dict) or data.get("kind") != "allocation":
+        raise ReproError("not an allocation document: %r" % (data,))
+    if data.get("version") != FORMAT_VERSION:
+        raise ReproError("unsupported allocation format version %r"
+                         % (data.get("version"),))
+    units = data.get("units", {})
+    if not isinstance(units, dict):
+        raise ReproError("allocation units must be a mapping")
+    allocation = RMap({str(name): int(count)
+                       for name, count in units.items()})
+    if library is not None:
+        for name in allocation.names():
+            library.get(name)  # raises ResourceError when unknown
+    return allocation
+
+
+def allocation_result_to_dict(result):
+    """Serialise an :class:`~repro.core.allocator.AllocationResult`."""
+    return {
+        "kind": "allocation-result",
+        "version": FORMAT_VERSION,
+        "allocation": allocation_to_dict(result.allocation),
+        "hw_bsbs": list(result.hw_bsb_names),
+        "remaining_area": result.remaining_area,
+        "datapath_area": result.datapath_area,
+        "controller_area": result.controller_area,
+        "restrictions": result.restrictions.as_dict(),
+        "runtime_seconds": result.runtime_seconds,
+        "trace": [str(event) for event in result.events],
+    }
+
+
+def evaluation_to_dict(evaluation):
+    """Serialise an AllocationEvaluation (PACE outcome included)."""
+    partition = evaluation.partition
+    return {
+        "kind": "evaluation",
+        "version": FORMAT_VERSION,
+        "allocation": allocation_to_dict(evaluation.allocation),
+        "datapath_area": evaluation.datapath_area,
+        "overhead_area": evaluation.overhead_area,
+        "available_controller_area":
+            evaluation.available_controller_area,
+        "speedup": partition.speedup,
+        "sw_time_all": partition.sw_time_all,
+        "hybrid_time": partition.hybrid_time,
+        "hw_bsbs": list(partition.hw_names),
+        "hw_sequences": [list(pair) for pair in partition.hw_sequences],
+        "controller_area_used": partition.controller_area_used,
+        "hw_fraction": partition.hw_fraction,
+    }
+
+
+def save_json(document, path):
+    """Write a serialised document to ``path`` (pretty-printed)."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path):
+    """Read a serialised document from ``path``."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,13 @@
+"""Intermediate representation: operation types and data-flow graphs.
+
+The leaf Basic Scheduling Blocks of a LYCOS application contain single
+data-flow graphs (DFGs).  A DFG is a directed acyclic graph of
+:class:`~repro.ir.ops.Operation` nodes whose edges express data
+dependencies; this is the structure the FURO metric, the schedulers and
+the allocation algorithm all consume.
+"""
+
+from repro.ir.ops import OpType, Operation, OP_CATEGORY_NAMES
+from repro.ir.dfg import DFG
+
+__all__ = ["OpType", "Operation", "OP_CATEGORY_NAMES", "DFG"]

@@ -1,0 +1,171 @@
+"""Data-flow graphs: DAGs of operations with data-dependency edges.
+
+The DFG is the contents of a leaf Basic Scheduling Block.  It is the
+structure consumed by the ASAP/ALAP schedulers, the FURO metric and the
+hardware time estimators.  Edges point from a producer operation to the
+consumer that uses its result; the graph must stay acyclic.
+"""
+
+import networkx as nx
+
+from repro.errors import CdfgError
+from repro.ir.ops import Operation, OpType, make_op
+
+
+class DFG:
+    """A data-flow graph of :class:`~repro.ir.ops.Operation` nodes.
+
+    The graph is backed by a :class:`networkx.DiGraph` keyed by operation
+    uid, which keeps hashing cheap while letting callers retrieve the full
+    :class:`Operation` dataclass via :meth:`operation`.
+    """
+
+    def __init__(self, name=""):
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._ops = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_operation(self, operation):
+        """Add an operation node; returns the operation for chaining."""
+        if not isinstance(operation, Operation):
+            raise CdfgError("DFG nodes must be Operation instances, got %r"
+                            % (operation,))
+        if operation.uid in self._ops:
+            raise CdfgError("duplicate operation uid %d in DFG %r"
+                            % (operation.uid, self.name))
+        self._ops[operation.uid] = operation
+        self._graph.add_node(operation.uid)
+        return operation
+
+    def new_operation(self, optype, label="", value=None):
+        """Create and add a fresh operation of the given type."""
+        return self.add_operation(make_op(optype, label=label, value=value))
+
+    def add_dependency(self, producer, consumer):
+        """Add a data-dependency edge producer -> consumer.
+
+        Raises :class:`CdfgError` if either endpoint is unknown or if the
+        edge would create a cycle.
+        """
+        for op in (producer, consumer):
+            if op.uid not in self._ops:
+                raise CdfgError("operation %s is not part of DFG %r"
+                                % (op, self.name))
+        if producer.uid == consumer.uid:
+            raise CdfgError("self-dependency on %s" % producer)
+        self._graph.add_edge(producer.uid, consumer.uid)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(producer.uid, consumer.uid)
+            raise CdfgError("dependency %s -> %s creates a cycle"
+                            % (producer, consumer))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def operation(self, uid):
+        """Return the :class:`Operation` with the given uid."""
+        try:
+            return self._ops[uid]
+        except KeyError:
+            raise CdfgError("no operation with uid %d in DFG %r"
+                            % (uid, self.name)) from None
+
+    def operations(self):
+        """All operations, in deterministic (uid) order."""
+        return [self._ops[uid] for uid in sorted(self._ops)]
+
+    def __len__(self):
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self.operations())
+
+    def __contains__(self, operation):
+        return getattr(operation, "uid", None) in self._ops
+
+    def predecessors(self, operation):
+        """Direct data-dependency predecessors of an operation."""
+        return [self._ops[uid] for uid in
+                sorted(self._graph.predecessors(operation.uid))]
+
+    def successors(self, operation):
+        """Direct data-dependency successors of an operation."""
+        return [self._ops[uid] for uid in
+                sorted(self._graph.successors(operation.uid))]
+
+    def transitive_successors(self, operation):
+        """All operations reachable from ``operation`` (Succ(i) in Def. 2)."""
+        return {self._ops[uid] for uid in
+                nx.descendants(self._graph, operation.uid)}
+
+    def transitive_predecessors(self, operation):
+        """All operations that reach ``operation``."""
+        return {self._ops[uid] for uid in
+                nx.ancestors(self._graph, operation.uid)}
+
+    def sources(self):
+        """Operations with no predecessors."""
+        return [self._ops[uid] for uid in sorted(self._graph.nodes)
+                if self._graph.in_degree(uid) == 0]
+
+    def sinks(self):
+        """Operations with no successors."""
+        return [self._ops[uid] for uid in sorted(self._graph.nodes)
+                if self._graph.out_degree(uid) == 0]
+
+    def topological_order(self):
+        """Operations in a deterministic topological order."""
+        order = nx.lexicographical_topological_sort(self._graph)
+        return [self._ops[uid] for uid in order]
+
+    def op_types(self):
+        """The set of operation types present in this DFG."""
+        return {op.optype for op in self._ops.values()}
+
+    def count_by_type(self):
+        """Mapping op type -> number of operations of that type."""
+        counts = {}
+        for op in self._ops.values():
+            counts[op.optype] = counts.get(op.optype, 0) + 1
+        return counts
+
+    def operations_of_type(self, optype):
+        """All operations of a given type, in uid order."""
+        return [op for op in self.operations() if op.optype == optype]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self, name=None):
+        """Deep-enough copy: same Operation objects, fresh graph."""
+        clone = DFG(name=self.name if name is None else name)
+        for op in self.operations():
+            clone.add_operation(op)
+        for producer_uid, consumer_uid in self._graph.edges:
+            clone._graph.add_edge(producer_uid, consumer_uid)
+        return clone
+
+    def nx_graph(self):
+        """A read-only view of the underlying networkx graph."""
+        return self._graph.copy(as_view=True)
+
+    def __repr__(self):
+        return "DFG(name=%r, ops=%d, edges=%d)" % (
+            self.name, len(self._ops), self._graph.number_of_edges())
+
+
+def chain(dfg, operations):
+    """Convenience: add dependencies forming a chain through ``operations``."""
+    for producer, consumer in zip(operations, operations[1:]):
+        dfg.add_dependency(producer, consumer)
+    return operations
+
+
+def parallel_ops(dfg, optype, count, label_prefix=""):
+    """Convenience: add ``count`` independent operations of one type."""
+    return [dfg.new_operation(optype,
+                              label="%s%d" % (label_prefix, index))
+            for index in range(count)]

@@ -1,0 +1,99 @@
+"""Operation types and operation nodes of a data-flow graph.
+
+An *operation type* is what the allocation algorithm reasons about: the
+FURO urgency metric is computed per operation type, and each hardware
+resource in the library declares the set of operation types it can
+execute ("an adder executes ADD", "an ALU executes ADD, SUB and CMP").
+"""
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class OpType(enum.Enum):
+    """The operation types that may appear in a leaf-BSB data-flow graph.
+
+    The set mirrors what the paper's examples need: arithmetic (the HAL
+    differential-equation benchmark), constant generation (the Mandelbrot
+    benchmark "loads a lot of constant values for multiplication"),
+    division (the eigen benchmark) plus comparison, shifting, bitwise
+    logic and memory traffic for general C-like programs.
+    """
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    CONST = "const"
+    CMP = "cmp"
+    SHIFT = "shift"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    NEG = "neg"
+    MOV = "mov"
+    LOAD = "load"
+    STORE = "store"
+
+    def __repr__(self):
+        return "OpType.%s" % self.name
+
+
+#: Human-readable names used in reports and rendered tables.
+OP_CATEGORY_NAMES = {
+    OpType.ADD: "addition",
+    OpType.SUB: "subtraction",
+    OpType.MUL: "multiplication",
+    OpType.DIV: "division",
+    OpType.MOD: "modulo",
+    OpType.CONST: "constant load",
+    OpType.CMP: "comparison",
+    OpType.SHIFT: "shift",
+    OpType.AND: "bitwise and",
+    OpType.OR: "bitwise or",
+    OpType.XOR: "bitwise xor",
+    OpType.NOT: "bitwise not",
+    OpType.NEG: "negation",
+    OpType.MOV: "move",
+    OpType.LOAD: "memory load",
+    OpType.STORE: "memory store",
+}
+
+_op_id_counter = itertools.count(1)
+
+
+def _next_op_id():
+    return next(_op_id_counter)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single operation node in a data-flow graph.
+
+    Attributes:
+        uid: Unique integer identity (graph node key).  Two operations
+            with the same type and label are still distinct nodes.
+        optype: The :class:`OpType` executed by this node.
+        label: Optional human-readable label, e.g. the source variable
+            the operation defines (used in traces and error messages).
+        value: For ``CONST`` operations, the constant being generated;
+            for ``LOAD``/``STORE``, the array name being accessed.
+    """
+
+    uid: int = field(default_factory=_next_op_id)
+    optype: OpType = OpType.MOV
+    label: str = ""
+    value: object = None
+
+    def __str__(self):
+        if self.label:
+            return "%s#%d(%s)" % (self.optype.value, self.uid, self.label)
+        return "%s#%d" % (self.optype.value, self.uid)
+
+
+def make_op(optype, label="", value=None):
+    """Create a fresh :class:`Operation` with an auto-assigned uid."""
+    return Operation(uid=_next_op_id(), optype=optype, label=label, value=value)

@@ -1,0 +1,16 @@
+"""Mini-C frontend: the "input description" of the LYCOS flow.
+
+The paper obtains the application CDFG "from an input description in
+VHDL or C".  This package provides a small C-like language sufficient
+for the paper's benchmarks: integer scalars and one-dimensional arrays,
+assignments with full arithmetic/logic/comparison expressions, ``if``/
+``else``, ``while`` and ``for`` statements, plus ``input``/``output``
+declarations that name the values supplied at profiling time.
+"""
+
+from repro.lang.tokens import Token, TokenType
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang import ast_nodes as ast
+
+__all__ = ["Token", "TokenType", "tokenize", "parse", "ast"]

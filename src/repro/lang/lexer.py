@@ -1,0 +1,119 @@
+"""Hand-written lexer for the mini-C frontend."""
+
+from repro.errors import LexerError
+from repro.lang.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+
+def tokenize(source):
+    """Convert source text into a list of tokens (EOF-terminated).
+
+    Supports ``//`` line comments and ``/* ... */`` block comments,
+    decimal and hexadecimal (``0x``) integer literals, identifiers and
+    the operator/delimiter set of :mod:`repro.lang.tokens`.
+    """
+    tokens = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def advance(count=1):
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+
+        # Whitespace
+        if char in " \t\r\n":
+            advance()
+            continue
+
+        # Comments
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                advance()
+            continue
+        if source.startswith("/*", index):
+            start_line, start_column = line, column
+            advance(2)
+            while index < length and not source.startswith("*/", index):
+                advance()
+            if index >= length:
+                raise LexerError("unterminated block comment",
+                                 start_line, start_column)
+            advance(2)
+            continue
+
+        # Numbers
+        if char.isdigit():
+            start_line, start_column = line, column
+            start = index
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                advance(2)
+                if index >= length or not _is_hex_digit(source[index]):
+                    raise LexerError("malformed hex literal",
+                                     start_line, start_column)
+                while index < length and _is_hex_digit(source[index]):
+                    advance()
+            else:
+                while index < length and source[index].isdigit():
+                    advance()
+            if index < length and (source[index].isalpha()
+                                   or source[index] == "_"):
+                raise LexerError("identifier cannot start with a digit",
+                                 start_line, start_column)
+            tokens.append(Token(TokenType.NUMBER, source[start:index],
+                                start_line, start_column))
+            continue
+
+        # Identifiers and keywords
+        if char.isalpha() or char == "_":
+            start_line, start_column = line, column
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                advance()
+            text = source[start:index]
+            token_type = KEYWORDS.get(text, TokenType.IDENT)
+            tokens.append(Token(token_type, text, start_line, start_column))
+            continue
+
+        # Multi-character operators
+        matched = False
+        for text, token_type in MULTI_CHAR_OPERATORS:
+            if source.startswith(text, index):
+                tokens.append(Token(token_type, text, line, column))
+                advance(len(text))
+                matched = True
+                break
+        if matched:
+            continue
+
+        # Single-character operators / delimiters
+        if char in SINGLE_CHAR_OPERATORS:
+            tokens.append(Token(SINGLE_CHAR_OPERATORS[char], char,
+                                line, column))
+            advance()
+            continue
+
+        raise LexerError("unexpected character %r" % char, line, column)
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens
+
+
+def _is_hex_digit(char):
+    return char.isdigit() or char.lower() in "abcdef"

@@ -1,0 +1,275 @@
+"""Recursive-descent parser for the mini-C frontend.
+
+Grammar (EBNF; ``{}`` repetition, ``[]`` optional)::
+
+    program     = { statement } ;
+    statement   = var_decl | input_decl | output_decl | assign_stmt
+                | if_stmt | while_stmt | for_stmt | wait_stmt | block ;
+    var_decl    = "int" IDENT [ "[" NUMBER "]" ] { "," IDENT [...] } ";" ;
+    input_decl  = "input" IDENT { "," IDENT } ";" ;
+    output_decl = "output" IDENT { "," IDENT } ";" ;
+    assign_stmt = lvalue "=" expr ";" ;
+    lvalue      = IDENT [ "[" expr "]" ] ;
+    if_stmt     = "if" "(" expr ")" block [ "else" (block | if_stmt) ] ;
+    while_stmt  = "while" "(" expr ")" block ;
+    for_stmt    = "for" "(" assign ";" expr ";" assign ")" block ;
+    wait_stmt   = "wait" "(" NUMBER ")" ";" ;
+    block       = "{" { statement } "}" ;
+
+Expressions use C precedence: ``|`` < ``^`` < ``&`` < equality <
+relational < shifts < additive < multiplicative < unary.
+"""
+
+from repro.errors import ParseError, SemanticError
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+class Parser:
+    """Token-stream parser producing a :class:`repro.lang.ast_nodes.Program`."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self):
+        return self.tokens[self.position]
+
+    def check(self, token_type):
+        return self.current.type is token_type
+
+    def accept(self, token_type):
+        if self.check(token_type):
+            token = self.current
+            self.position += 1
+            return token
+        return None
+
+    def expect(self, token_type, what=None):
+        token = self.accept(token_type)
+        if token is None:
+            raise ParseError(
+                "expected %s but found %r"
+                % (what or token_type.value, self.current.text or "<eof>"),
+                line=self.current.line, column=self.current.column)
+        return token
+
+    # ------------------------------------------------------------------
+    # Program / statements
+    # ------------------------------------------------------------------
+    def parse_program(self):
+        program = ast.Program()
+        while not self.check(TokenType.EOF):
+            statement = self.parse_statement()
+            self._register(statement, program)
+            program.statements.append(statement)
+        return program
+
+    def _register(self, statement, program):
+        if isinstance(statement, ast.InputDecl):
+            program.inputs.extend(statement.names)
+        elif isinstance(statement, ast.OutputDecl):
+            program.outputs.extend(statement.names)
+        elif isinstance(statement, ast.VarDecl) and statement.size is not None:
+            if statement.name in program.arrays:
+                raise SemanticError("array %r declared twice"
+                                    % statement.name)
+            program.arrays[statement.name] = statement.size
+
+    def parse_statement(self):
+        if self.check(TokenType.INT):
+            return self.parse_var_decl()
+        if self.check(TokenType.INPUT):
+            return self.parse_io_decl(TokenType.INPUT, ast.InputDecl)
+        if self.check(TokenType.OUTPUT):
+            return self.parse_io_decl(TokenType.OUTPUT, ast.OutputDecl)
+        if self.check(TokenType.IF):
+            return self.parse_if()
+        if self.check(TokenType.WHILE):
+            return self.parse_while()
+        if self.check(TokenType.FOR):
+            return self.parse_for()
+        if self.check(TokenType.WAIT):
+            return self.parse_wait()
+        if self.check(TokenType.LBRACE):
+            return self.parse_block()
+        if self.check(TokenType.IDENT):
+            statement = self.parse_assign()
+            self.expect(TokenType.SEMI, "';'")
+            return statement
+        raise ParseError("unexpected token %r" % (self.current.text or "<eof>"),
+                         line=self.current.line, column=self.current.column)
+
+    def parse_var_decl(self):
+        token = self.expect(TokenType.INT)
+        declarations = []
+        while True:
+            name = self.expect(TokenType.IDENT, "variable name").text
+            size = None
+            if self.accept(TokenType.LBRACKET):
+                size_token = self.expect(TokenType.NUMBER, "array size")
+                size = _parse_int(size_token)
+                if size < 1:
+                    raise SemanticError("array %r has size %d < 1"
+                                        % (name, size))
+                self.expect(TokenType.RBRACKET, "']'")
+            declarations.append(ast.VarDecl(line=token.line, name=name,
+                                            size=size))
+            if not self.accept(TokenType.COMMA):
+                break
+        self.expect(TokenType.SEMI, "';'")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.Block(line=token.line, statements=declarations)
+
+    def parse_io_decl(self, token_type, node_class):
+        token = self.expect(token_type)
+        names = [self.expect(TokenType.IDENT, "name").text]
+        while self.accept(TokenType.COMMA):
+            names.append(self.expect(TokenType.IDENT, "name").text)
+        self.expect(TokenType.SEMI, "';'")
+        return node_class(line=token.line, names=names)
+
+    def parse_assign(self):
+        name_token = self.expect(TokenType.IDENT, "variable name")
+        if self.accept(TokenType.LBRACKET):
+            index = self.parse_expr()
+            self.expect(TokenType.RBRACKET, "']'")
+            target = ast.ArrayRef(line=name_token.line,
+                                  name=name_token.text, index=index)
+        else:
+            target = ast.VarRef(line=name_token.line, name=name_token.text)
+        self.expect(TokenType.ASSIGN, "'='")
+        expr = self.parse_expr()
+        return ast.Assign(line=name_token.line, target=target, expr=expr)
+
+    def parse_if(self):
+        token = self.expect(TokenType.IF)
+        self.expect(TokenType.LPAREN, "'('")
+        cond = self.parse_expr()
+        self.expect(TokenType.RPAREN, "')'")
+        then_body = self.parse_block()
+        else_body = None
+        if self.accept(TokenType.ELSE):
+            if self.check(TokenType.IF):
+                nested = self.parse_if()
+                else_body = ast.Block(line=nested.line, statements=[nested])
+            else:
+                else_body = self.parse_block()
+        return ast.If(line=token.line, cond=cond,
+                      then_body=then_body, else_body=else_body)
+
+    def parse_while(self):
+        token = self.expect(TokenType.WHILE)
+        self.expect(TokenType.LPAREN, "'('")
+        cond = self.parse_expr()
+        self.expect(TokenType.RPAREN, "')'")
+        body = self.parse_block()
+        return ast.While(line=token.line, cond=cond, body=body)
+
+    def parse_for(self):
+        token = self.expect(TokenType.FOR)
+        self.expect(TokenType.LPAREN, "'('")
+        init = self.parse_assign()
+        self.expect(TokenType.SEMI, "';'")
+        cond = self.parse_expr()
+        self.expect(TokenType.SEMI, "';'")
+        update = self.parse_assign()
+        self.expect(TokenType.RPAREN, "')'")
+        body = self.parse_block()
+        return ast.For(line=token.line, init=init, cond=cond,
+                       update=update, body=body)
+
+    def parse_wait(self):
+        token = self.expect(TokenType.WAIT)
+        self.expect(TokenType.LPAREN, "'('")
+        cycles_token = self.expect(TokenType.NUMBER, "cycle count")
+        self.expect(TokenType.RPAREN, "')'")
+        self.expect(TokenType.SEMI, "';'")
+        cycles = _parse_int(cycles_token)
+        if cycles < 1:
+            raise SemanticError("wait cycles must be >= 1, got %d" % cycles)
+        return ast.Wait(line=token.line, cycles=cycles)
+
+    def parse_block(self):
+        token = self.expect(TokenType.LBRACE, "'{'")
+        statements = []
+        while not self.check(TokenType.RBRACE):
+            if self.check(TokenType.EOF):
+                raise ParseError("unterminated block",
+                                 line=token.line, column=token.column)
+            statements.append(self.parse_statement())
+        self.expect(TokenType.RBRACE)
+        return ast.Block(line=token.line, statements=statements)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    _BINARY_LEVELS = [
+        [TokenType.PIPE],
+        [TokenType.CARET],
+        [TokenType.AMP],
+        [TokenType.EQ, TokenType.NE],
+        [TokenType.LT, TokenType.LE, TokenType.GT, TokenType.GE],
+        [TokenType.LSHIFT, TokenType.RSHIFT],
+        [TokenType.PLUS, TokenType.MINUS],
+        [TokenType.STAR, TokenType.SLASH, TokenType.PERCENT],
+    ]
+
+    def parse_expr(self, level=0):
+        if level >= len(self._BINARY_LEVELS):
+            return self.parse_unary()
+        left = self.parse_expr(level + 1)
+        while self.current.type in self._BINARY_LEVELS[level]:
+            op_token = self.current
+            self.position += 1
+            right = self.parse_expr(level + 1)
+            left = ast.BinaryOp(line=op_token.line, op=op_token.text,
+                                left=left, right=right)
+        return left
+
+    def parse_unary(self):
+        if self.check(TokenType.MINUS) or self.check(TokenType.TILDE):
+            op_token = self.current
+            self.position += 1
+            operand = self.parse_unary()
+            return ast.UnaryOp(line=op_token.line, op=op_token.text,
+                               operand=operand)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        if self.check(TokenType.NUMBER):
+            token = self.accept(TokenType.NUMBER)
+            return ast.NumberLiteral(line=token.line, value=_parse_int(token))
+        if self.check(TokenType.IDENT):
+            token = self.accept(TokenType.IDENT)
+            if self.accept(TokenType.LBRACKET):
+                index = self.parse_expr()
+                self.expect(TokenType.RBRACKET, "']'")
+                return ast.ArrayRef(line=token.line, name=token.text,
+                                    index=index)
+            return ast.VarRef(line=token.line, name=token.text)
+        if self.accept(TokenType.LPAREN):
+            expr = self.parse_expr()
+            self.expect(TokenType.RPAREN, "')'")
+            return expr
+        raise ParseError("expected an expression, found %r"
+                         % (self.current.text or "<eof>"),
+                         line=self.current.line, column=self.current.column)
+
+
+def _parse_int(token):
+    text = token.text
+    if text.lower().startswith("0x"):
+        return int(text, 16)
+    return int(text)
+
+
+def parse(source):
+    """Parse mini-C source text into a Program AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,113 @@
+"""Token definitions for the mini-C frontend."""
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    # Literals and identifiers
+    NUMBER = "number"
+    IDENT = "ident"
+
+    # Keywords
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    FOR = "for"
+    INT = "int"
+    INPUT = "input"
+    OUTPUT = "output"
+    WAIT = "wait"
+
+    # Operators
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    LSHIFT = "<<"
+    RSHIFT = ">>"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    ASSIGN = "="
+
+    # Delimiters
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "while": TokenType.WHILE,
+    "for": TokenType.FOR,
+    "int": TokenType.INT,
+    "input": TokenType.INPUT,
+    "output": TokenType.OUTPUT,
+    "wait": TokenType.WAIT,
+}
+
+#: Multi-character operators, longest first so the lexer prefers them.
+MULTI_CHAR_OPERATORS = [
+    ("<<", TokenType.LSHIFT),
+    (">>", TokenType.RSHIFT),
+    ("<=", TokenType.LE),
+    (">=", TokenType.GE),
+    ("==", TokenType.EQ),
+    ("!=", TokenType.NE),
+]
+
+SINGLE_CHAR_OPERATORS = {
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "&": TokenType.AMP,
+    "|": TokenType.PIPE,
+    "^": TokenType.CARET,
+    "~": TokenType.TILDE,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "=": TokenType.ASSIGN,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ";": TokenType.SEMI,
+    ",": TokenType.COMMA,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def __str__(self):
+        return "%s(%r)@%d:%d" % (self.type.name, self.text,
+                                 self.line, self.column)

@@ -1,0 +1,51 @@
+"""HW/SW communication model (memory-mapped interface).
+
+When a contiguous sequence of BSBs executes in hardware, the variables
+it consumes must be written across the interface before it starts and
+the variables it produces read back after it finishes.  Variables
+produced *inside* the sequence for its own consumption never cross the
+boundary — the reason PACE considers sequences instead of single BSBs.
+
+Transfer volume model: one word per live-in variable on entry and one
+per live-out variable on exit, once per activation of the sequence.
+The activation count is the *minimum* profile count over the sequence's
+BSBs: a sequence that covers a whole loop nest (test, body and the
+once-executed setup block before it) is entered once per execution of
+the setup block, while a fragment strictly inside a loop is entered on
+every iteration.  This is the behaviour of PACE's hierarchical
+communication estimate and the reason moving complete loops to hardware
+is cheap while slicing loops across the boundary is expensive.
+"""
+
+
+def sequence_live_in(costs):
+    """Variables the sequence reads before any internal definition."""
+    defined = set()
+    live_in = set()
+    for cost in costs:
+        live_in |= (cost.reads - defined)
+        defined |= cost.writes
+    return live_in
+
+
+def sequence_live_out(costs):
+    """Variables the sequence defines (visible to subsequent software).
+
+    Without whole-program liveness (future software may or may not read
+    them) the model conservatively transfers every written variable.
+    """
+    written = set()
+    for cost in costs:
+        written |= cost.writes
+    return written
+
+
+def sequence_communication_time(costs, architecture):
+    """Cycles spent on boundary transfers for a HW sequence of BSBs."""
+    if not costs:
+        return 0.0
+    words_in = len(sequence_live_in(costs))
+    words_out = len(sequence_live_out(costs))
+    activations = min(cost.profile_count for cost in costs)
+    return architecture.comm_cycles_per_word * (
+        (words_in + words_out) * activations)

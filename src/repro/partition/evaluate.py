@@ -1,0 +1,90 @@
+"""Evaluate an allocation: build BSB costs, run PACE, report the result.
+
+This is the paper's evaluation loop (section 5): the quality of an
+allocation *is* the speed-up PACE achieves with it.  Both the heuristic
+allocation and every allocation visited by the exhaustive search go
+through this same function, so comparisons are consistent.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.rmap import RMap
+from repro.errors import PartitionError
+from repro.partition.model import bsb_costs
+from repro.partition.pace import pace_partition, PartitionResult
+
+
+@dataclass
+class AllocationEvaluation:
+    """An allocation together with its PACE partitioning outcome.
+
+    Attributes:
+        allocation: The evaluated allocation.
+        datapath_area: Data-path area the allocation consumes.
+        available_controller_area: Area left for controllers.
+        partition: The :class:`PartitionResult` PACE produced.
+        overhead_area: Interconnect/storage estimate charged (zero
+            unless an overhead model was supplied).
+        datapath_fraction: Data-path share of the ASIC area actually
+            used (data-path + controllers), the paper's "Size" column.
+    """
+
+    allocation: RMap
+    datapath_area: float
+    available_controller_area: float
+    partition: PartitionResult
+    overhead_area: float = 0.0
+
+    @property
+    def speedup(self):
+        return self.partition.speedup
+
+    @property
+    def datapath_fraction(self):
+        used = self.datapath_area + self.partition.controller_area_used
+        if used <= 0:
+            return 0.0
+        return self.datapath_area / used
+
+
+def evaluate_allocation(bsbs, allocation, architecture, area_quanta=400,
+                        cache=None, overhead_model=None):
+    """Partition ``bsbs`` under ``allocation`` and return the evaluation.
+
+    Args:
+        bsbs: The application's leaf-BSB array.
+        allocation: Data-path allocation (RMap or dict).
+        architecture: The target architecture (defines the total area).
+        area_quanta: Resolution of PACE's area axis.
+        cache: Optional dict memoising hardware schedule lengths across
+            evaluations (used heavily by the exhaustive search).
+        overhead_model: Optional
+            :class:`~repro.hwlib.overheads.OverheadModel`: charges the
+            interconnect/storage estimate of the future-work extension
+            against the area left for controllers.
+    """
+    allocation = RMap._coerce(allocation)
+    datapath_area = allocation.area(architecture.library)
+    if datapath_area > architecture.total_area:
+        raise PartitionError(
+            "allocation area %.1f exceeds total ASIC area %.1f"
+            % (datapath_area, architecture.total_area))
+    overhead_area = 0.0
+    if overhead_model is not None:
+        from repro.hwlib.overheads import total_overhead_area
+
+        overhead_area = total_overhead_area(
+            allocation, bsbs, architecture.library, model=overhead_model)
+    # Overheads may leave no controller room at all — that is a valid
+    # (terrible) design point, not an error: PACE then moves nothing.
+    available = architecture.total_area - datapath_area - overhead_area
+    costs = bsb_costs(bsbs, allocation, architecture, cache=cache)
+    partition = pace_partition(costs, architecture, available,
+                               area_quanta=area_quanta)
+    return AllocationEvaluation(
+        allocation=allocation,
+        datapath_area=datapath_area,
+        available_controller_area=available,
+        partition=partition,
+        overhead_area=overhead_area,
+    )

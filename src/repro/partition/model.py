@@ -1,0 +1,175 @@
+"""Target architecture and per-BSB cost models for partitioning."""
+
+from dataclasses import dataclass, field
+
+from repro.core.eca import controller_area_for_states
+from repro.errors import PartitionError
+from repro.hwlib.library import ResourceLibrary
+from repro.sched.list_scheduler import list_schedule
+from repro.swmodel.estimator import bsb_software_time
+from repro.swmodel.processor import Processor, default_processor
+
+
+@dataclass(frozen=True)
+class TargetArchitecture:
+    """The co-processor target: one CPU, one ASIC, shared memory.
+
+    Attributes:
+        processor: The software side's cycle model.
+        library: The hardware resource library.
+        total_area: Total ASIC area (data-path + controllers), gate
+            equivalents.
+        comm_cycles_per_word: Cycles to move one 32-bit word across the
+            memory-mapped HW/SW interface.
+        hw_cycle_ratio: Duration of one ASIC control step in CPU cycles
+            (1.0 = same clock).
+    """
+
+    processor: Processor = field(default_factory=default_processor)
+    library: ResourceLibrary = None
+    total_area: float = 20000.0
+    comm_cycles_per_word: float = 4.0
+    hw_cycle_ratio: float = 1.0
+
+    def __post_init__(self):
+        if self.library is None:
+            raise PartitionError("TargetArchitecture requires a library")
+        if self.total_area <= 0:
+            raise PartitionError("total area must be positive")
+        if self.comm_cycles_per_word < 0:
+            raise PartitionError("communication cost must be >= 0")
+        if self.hw_cycle_ratio <= 0:
+            raise PartitionError("hw cycle ratio must be positive")
+
+
+@dataclass(frozen=True)
+class BSBCost:
+    """Partitioning-relevant costs of one BSB under a fixed allocation.
+
+    Attributes:
+        name: BSB name.
+        profile_count: Executions per application run.
+        sw_time: Total software cycles over the run.
+        hw_time: Total hardware cycles over the run (``None`` when the
+            allocation cannot execute the BSB, i.e. some required unit
+            has count zero — the BSB must then stay in software).
+        controller_area: Area of the BSB's controller if moved to
+            hardware.  PACE uses the *actual* (list-schedule) state
+            count, which is what makes the optimistic ECA of the
+            allocator visible in section 5.1.
+        reads: Live-in variable names (for boundary communication).
+        writes: Live-out variable names.
+    """
+
+    name: str
+    profile_count: int
+    sw_time: float
+    hw_time: float
+    controller_area: float
+    reads: frozenset
+    writes: frozenset
+
+    @property
+    def movable(self):
+        return self.hw_time is not None
+
+    @property
+    def gain(self):
+        """Raw cycles saved by moving this BSB alone (ignoring comm)."""
+        if not self.movable:
+            return 0.0
+        return self.sw_time - self.hw_time
+
+
+def _relevant_counts(bsb, allocation, library):
+    """The allocation as seen by one BSB, capped at useful counts.
+
+    A BSB with three multiplications schedules identically under four or
+    forty multipliers; capping the counts makes the cache key collapse
+    across allocations that differ only in irrelevant resources.
+    """
+    ops_per_resource = {}
+    for optype, op_count in bsb.dfg.count_by_type().items():
+        name = library.resource_for(optype).name
+        ops_per_resource[name] = ops_per_resource.get(name, 0) + op_count
+    counts = {name: min(allocation.get(name, 0), need)
+              for name, need in ops_per_resource.items()}
+    return tuple(sorted(counts.items()))
+
+
+def hardware_steps(bsb, allocation, architecture, cache=None):
+    """List-schedule length of a BSB under ``allocation``, or ``None``.
+
+    ``None`` means the allocation lacks a required unit and the BSB
+    cannot execute in hardware.  ``cache`` (a plain dict) memoises
+    schedule lengths across the many allocations an exhaustive search
+    evaluates.
+
+    Allocations where some type is covered only by a non-designated
+    unit (module-selection mixes) are scheduled with the heterogeneous
+    scheduler; the common homogeneous case keeps its fast path.
+    """
+    library = architecture.library
+    if not len(bsb.dfg):
+        return 0
+    counts = _relevant_counts(bsb, allocation, library)
+    if all(count >= 1 for _, count in counts):
+        key = None
+        if cache is not None:
+            key = (bsb.uid, counts)
+            if key in cache:
+                return cache[key]
+        steps = list_schedule(bsb.dfg, dict(counts), library).length
+        if cache is not None:
+            cache[key] = steps
+        return steps
+    return _hetero_hardware_steps(bsb, allocation, library, cache)
+
+
+def _hetero_hardware_steps(bsb, allocation, library, cache):
+    """Schedule length under a module-selection mix, or ``None``."""
+    from repro.core.furo import allocated_units_for
+    from repro.sched.hetero_scheduler import hetero_list_schedule
+
+    for optype in bsb.dfg.op_types():
+        if allocated_units_for(optype, allocation, library) < 1:
+            return None
+    relevant = tuple(sorted(
+        (name, count) for name, count in allocation.items()
+        if count and any(library.get(name).executes(optype)
+                         for optype in bsb.dfg.op_types())))
+    key = (bsb.uid, "hetero", relevant)
+    if cache is not None and key in cache:
+        return cache[key]
+    steps = hetero_list_schedule(bsb.dfg, dict(relevant), library).length
+    if cache is not None:
+        cache[key] = steps
+    return steps
+
+
+def bsb_cost(bsb, allocation, architecture, cache=None):
+    """Compute the :class:`BSBCost` of one BSB under ``allocation``."""
+    sw_time = bsb_software_time(bsb, architecture.processor)
+    steps = hardware_steps(bsb, allocation, architecture, cache=cache)
+    if steps is None:
+        hw_time = None
+        controller_area = float("inf")
+    else:
+        hw_time = bsb.profile_count * steps * architecture.hw_cycle_ratio
+        controller_area = controller_area_for_states(
+            max(1, steps), technology=architecture.library.technology)
+    return BSBCost(
+        name=bsb.name,
+        profile_count=bsb.profile_count,
+        sw_time=sw_time,
+        hw_time=hw_time,
+        controller_area=controller_area,
+        reads=frozenset(bsb.reads),
+        writes=frozenset(bsb.writes),
+    )
+
+
+def bsb_costs(bsbs, allocation, architecture, cache=None):
+    """Per-BSB costs for the whole application, in array order."""
+    return [bsb_cost(bsb, allocation, architecture, cache=cache)
+            for bsb in bsbs]

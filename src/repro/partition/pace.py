@@ -1,0 +1,190 @@
+"""The PACE dynamic-programming partitioner.
+
+Problem statement (from Knudsen & Madsen [7]): the application is an
+ordered array of BSBs.  Any set of *contiguous sequences* of BSBs may be
+moved to hardware; a moved sequence
+
+* saves the software-vs-hardware time difference of its BSBs,
+* pays boundary communication on entry and exit (internal traffic is
+  free — the incentive to move neighbours together), and
+* consumes controller area for each moved BSB.
+
+PACE finds the time-optimal selection under the available controller
+area by dynamic programming over (BSB prefix, discretised area), the
+classic knapsack-with-sequences formulation.  Area is discretised into
+``area_quanta`` buckets (ceiling rounding, so the area constraint is
+never violated).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import PartitionError
+from repro.partition.communication import sequence_communication_time
+from repro.partition.speedup import speedup_percent
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of one PACE run.
+
+    Attributes:
+        hw_sequences: List of (first_index, last_index) BSB index pairs
+            (inclusive) moved to hardware, in array order.
+        hw_names: Names of the BSBs moved to hardware.
+        sw_time_all: Execution time of the all-software solution.
+        hybrid_time: Execution time of the partitioned solution,
+            including communication.
+        speedup: Speed-up percentage, the paper's SU metric.
+        controller_area_used: Controller area consumed by moved BSBs.
+        available_area: Controller area that was available.
+        hw_fraction: Fraction of *operations executed* that moved to HW
+            (profile-weighted; the paper's HW/SW column).
+    """
+
+    hw_sequences: list = field(default_factory=list)
+    hw_names: list = field(default_factory=list)
+    sw_time_all: float = 0.0
+    hybrid_time: float = 0.0
+    speedup: float = 0.0
+    controller_area_used: float = 0.0
+    available_area: float = 0.0
+    hw_fraction: float = 0.0
+
+
+def _sequence_tables(costs, architecture, available_area):
+    """Gain and area of every feasible contiguous sequence.
+
+    Returns dict (i, j) -> (gain_cycles, area); indices inclusive,
+    0-based.  Sequences containing an unmovable BSB are absent.
+    """
+    count = len(costs)
+    tables = {}
+    for first in range(count):
+        if not costs[first].movable:
+            continue
+        area = 0.0
+        for last in range(first, count):
+            cost = costs[last]
+            if not cost.movable:
+                break
+            area += cost.controller_area
+            if area > available_area:
+                break
+            segment = costs[first:last + 1]
+            comm = sequence_communication_time(segment, architecture)
+            gain = sum(c.sw_time - c.hw_time for c in segment) - comm
+            tables[(first, last)] = (gain, area)
+    return tables
+
+
+def pace_partition(costs, architecture, available_area, area_quanta=400):
+    """Run PACE and return a :class:`PartitionResult`.
+
+    Args:
+        costs: Per-BSB :class:`~repro.partition.model.BSBCost` array.
+        architecture: The :class:`~repro.partition.model.TargetArchitecture`.
+        available_area: Area left for controllers (total ASIC area minus
+            the pre-allocated data-path).
+        area_quanta: Resolution of the DP's area axis.
+    """
+    if area_quanta < 1:
+        raise PartitionError("area_quanta must be >= 1")
+    costs = list(costs)
+    count = len(costs)
+    sw_time_all = sum(cost.sw_time for cost in costs)
+
+    if available_area <= 0 or count == 0:
+        return PartitionResult(
+            sw_time_all=sw_time_all, hybrid_time=sw_time_all,
+            speedup=0.0, available_area=max(0.0, available_area))
+
+    quantum = available_area / area_quanta
+    sequences = _sequence_tables(costs, architecture, available_area)
+
+    def quantize(area):
+        quanta = int(area / quantum + 0.999999999)
+        return max(1, quanta)
+
+    # best[j][w]: max saving considering BSBs[0..j-1] with w quanta.
+    # choice[j][w]: None (BSB j-1 stays in software) or (i, w_prev)
+    # meaning sequence (i .. j-1) moved, transitioning from best[i][w_prev].
+    width = area_quanta + 1
+    best = [[0.0] * width for _ in range(count + 1)]
+    choice = [[None] * width for _ in range(count + 1)]
+
+    for j in range(1, count + 1):
+        row = best[j]
+        prev_row = best[j - 1]
+        for w in range(width):
+            row[w] = prev_row[w]
+        for first in range(j):
+            entry = sequences.get((first, j - 1))
+            if entry is None:
+                continue
+            gain, area = entry
+            if gain <= 0:
+                continue
+            needed = quantize(area)
+            base = best[first]
+            for w in range(needed, width):
+                candidate = base[w - needed] + gain
+                if candidate > row[w]:
+                    row[w] = candidate
+                    choice[j][w] = (first, w - needed)
+
+    # Reconstruct the chosen sequences.
+    hw_sequences = []
+    j, w = count, width - 1
+    total_saving = best[count][width - 1]
+    while j > 0:
+        picked = choice[j][w]
+        if picked is None:
+            j -= 1
+            continue
+        first, w_prev = picked
+        hw_sequences.append((first, j - 1))
+        j, w = first, w_prev
+    hw_sequences.reverse()
+
+    hw_names = []
+    controller_area_used = 0.0
+    hw_weighted_ops = 0.0
+    for first, last in hw_sequences:
+        for index in range(first, last + 1):
+            hw_names.append(costs[index].name)
+            controller_area_used += costs[index].controller_area
+    hybrid_time = sw_time_all - total_saving
+
+    # The paper's HW/SW column is a *static* measure of how much of the
+    # application moved to hardware (man moves only "8%" yet gets a 31x
+    # speed-up because that 8% dominates the runtime) — so weigh each
+    # BSB by its per-execution size, not by its profile count.
+    total_static = sum(_op_count(cost) for cost in costs)
+    for first, last in hw_sequences:
+        for index in range(first, last + 1):
+            hw_weighted_ops += _op_count(costs[index])
+    hw_fraction = hw_weighted_ops / total_static if total_static else 0.0
+
+    return PartitionResult(
+        hw_sequences=hw_sequences,
+        hw_names=hw_names,
+        sw_time_all=sw_time_all,
+        hybrid_time=hybrid_time,
+        speedup=speedup_percent(sw_time_all, hybrid_time),
+        controller_area_used=controller_area_used,
+        available_area=available_area,
+        hw_fraction=hw_fraction,
+    )
+
+
+def _op_count(cost):
+    """Approximate operation count of a BSB from its software time.
+
+    BSBCost deliberately does not retain the DFG; for the HW/SW-fraction
+    statistic the per-execution software time is a faithful weight (it
+    is a fixed positive multiple of the operation count for uniform op
+    mixes, and a better workload measure otherwise).
+    """
+    if cost.profile_count == 0:
+        return 0
+    return cost.sw_time / cost.profile_count

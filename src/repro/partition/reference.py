@@ -1,0 +1,58 @@
+"""Brute-force reference partitioner (testing oracle).
+
+Enumerates every feasible set of disjoint contiguous HW sequences by
+bitmask and returns the optimal saving under the same cost model PACE
+uses.  Exponential in the BSB count — usable up to ~16 BSBs — and
+valuable precisely because it shares *nothing* with PACE's dynamic
+program: agreement between the two on small instances validates the DP
+(see tests/partition/test_pace.py and the property suite).
+"""
+
+from repro.errors import PartitionError
+from repro.partition.communication import sequence_communication_time
+
+
+def reference_best_saving(costs, architecture, available_area,
+                          max_bsbs=18):
+    """Optimal time saving over all feasible sequence selections."""
+    costs = list(costs)
+    count = len(costs)
+    if count > max_bsbs:
+        raise PartitionError(
+            "reference partitioner is exponential; %d BSBs exceeds the "
+            "%d-BSB guard" % (count, max_bsbs))
+
+    def sequence_gain(first, last):
+        segment = costs[first:last + 1]
+        if any(not cost.movable for cost in segment):
+            return None, None
+        area = sum(cost.controller_area for cost in segment)
+        comm = sequence_communication_time(segment, architecture)
+        gain = sum(cost.sw_time - cost.hw_time
+                   for cost in segment) - comm
+        return gain, area
+
+    best = 0.0
+    for mask in range(2 ** count):
+        total_gain = 0.0
+        total_area = 0.0
+        feasible = True
+        index = 0
+        while index < count:
+            if not (mask >> index) & 1:
+                index += 1
+                continue
+            last = index
+            while last + 1 < count and (mask >> (last + 1)) & 1:
+                last += 1
+            gain, area = sequence_gain(index, last)
+            if gain is None:
+                feasible = False
+                break
+            total_gain += gain
+            total_area += area
+            index = last + 1
+        if feasible and total_area <= available_area:
+            if total_gain > best:
+                best = total_gain
+    return best

@@ -1,0 +1,12 @@
+"""Profiling: execute the application, count BSB executions.
+
+The allocation algorithm's priority function "is also based on profiling
+information" (section 4.1): the FURO of a BSB is scaled by its profile
+count p_k.  This package interprets the CDFG on concrete inputs and
+annotates every leaf with its execution count.
+"""
+
+from repro.profiling.interpreter import profile_cdfg, ProfileRun
+from repro.profiling.profiler import hotspots, profile_summary
+
+__all__ = ["profile_cdfg", "ProfileRun", "hotspots", "profile_summary"]

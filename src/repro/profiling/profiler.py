@@ -1,0 +1,27 @@
+"""Profile analysis helpers built on top of the interpreter."""
+
+from repro.swmodel.estimator import bsb_software_time
+
+
+def hotspots(program, processor, top=5):
+    """The BSBs dominating software execution time, hottest first.
+
+    Returns a list of (bsb, sw_time, share) tuples where ``share`` is
+    the fraction of total all-software time the BSB accounts for.  This
+    is the view that motivates the paper's Mandelbrot discussion: 8% of
+    the application can hold nearly all the runtime.
+    """
+    times = [(bsb, bsb_software_time(bsb, processor))
+             for bsb in program.bsbs]
+    total = sum(time for _, time in times) or 1
+    times.sort(key=lambda pair: (-pair[1], pair[0].name))
+    return [(bsb, time, time / total) for bsb, time in times[:top]]
+
+
+def profile_summary(program):
+    """Per-BSB profile table rows: (name, ops, profile count, weighted)."""
+    rows = []
+    for bsb in program.bsbs:
+        rows.append((bsb.name, len(bsb.dfg), bsb.profile_count,
+                     len(bsb.dfg) * bsb.profile_count))
+    return rows

@@ -1,0 +1,27 @@
+"""Reporting: table rendering and the paper's experiment drivers."""
+
+from repro.report.tables import render_table
+from repro.report.experiments import (
+    Table1Row,
+    table1_row,
+    table1_rows,
+    render_table1,
+    fig3_sweep,
+    render_fig3,
+    s51_controller_rows,
+    render_s51,
+    design_iteration_report,
+)
+
+__all__ = [
+    "render_table",
+    "Table1Row",
+    "table1_row",
+    "table1_rows",
+    "render_table1",
+    "fig3_sweep",
+    "render_fig3",
+    "s51_controller_rows",
+    "render_s51",
+    "design_iteration_report",
+]

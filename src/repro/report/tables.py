@@ -1,0 +1,36 @@
+"""Plain-text table rendering for experiment reports."""
+
+
+def render_table(headers, rows, title=None):
+    """Render a list-of-rows table as aligned plain text.
+
+    Every cell is stringified; columns are right-aligned except the
+    first (the label column).  Returns the table as a single string.
+    """
+    headers = [str(header) for header in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            elif len(cell) > widths[index]:
+                widths[index] = len(cell)
+
+    def format_row(cells):
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)

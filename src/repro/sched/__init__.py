@@ -1,0 +1,35 @@
+"""Scheduling substrate: ASAP, ALAP, mobility and list scheduling.
+
+The allocation algorithm needs ASAP/ALAP schedules for three purposes:
+
+* the FURO urgency metric is built on ASAP–ALAP interval overlaps and
+  mobilities (Definition 2);
+* the Estimated Controller Area uses the ASAP schedule length as the
+  state-count estimate (section 4.2);
+* the allocation restrictions cap units at the ASAP schedule's maximum
+  per-type parallelism (section 4.3).
+
+The resource-constrained list scheduler provides the *final* hardware
+schedule used by the PACE partitioner to compute the hardware execution
+time of a BSB under a concrete allocation.
+"""
+
+from repro.sched.schedule import Schedule
+from repro.sched.asap import asap_schedule
+from repro.sched.alap import alap_schedule
+from repro.sched.mobility import (
+    mobility,
+    interval_overlap,
+    asap_alap_intervals,
+)
+from repro.sched.list_scheduler import list_schedule
+
+__all__ = [
+    "Schedule",
+    "asap_schedule",
+    "alap_schedule",
+    "mobility",
+    "interval_overlap",
+    "asap_alap_intervals",
+    "list_schedule",
+]

@@ -1,0 +1,36 @@
+"""As-late-as-possible scheduling against a deadline."""
+
+from repro.errors import SchedulingError
+from repro.sched.asap import asap_schedule
+from repro.sched.schedule import Schedule, latency_table
+
+
+def alap_schedule(dfg, library=None, default_latency=1, deadline=None):
+    """Compute the ALAP schedule of a DFG.
+
+    Every operation starts at the latest control step that still lets all
+    its transitive consumers finish by ``deadline``.  When ``deadline``
+    is omitted, the ASAP schedule length is used — the convention under
+    which mobility is ``ALAP - ASAP + 1`` (Definition 2).
+    """
+    latencies = latency_table(dfg, library=library, default=default_latency)
+    if deadline is None:
+        deadline = asap_schedule(dfg, library=library,
+                                 default_latency=default_latency).length
+    if len(dfg) and deadline < 1:
+        raise SchedulingError("deadline must be >= 1, got %r" % (deadline,))
+
+    schedule = Schedule(dfg, latencies)
+    for op in reversed(dfg.topological_order()):
+        latest_finish = deadline
+        for consumer in dfg.successors(op):
+            consumer_start = schedule.start(consumer)
+            if consumer_start - 1 < latest_finish:
+                latest_finish = consumer_start - 1
+        start = latest_finish - latencies[op.uid] + 1
+        if start < 1:
+            raise SchedulingError(
+                "deadline %d is infeasible for DFG %r: operation %s would "
+                "need to start at %d" % (deadline, dfg.name, op, start))
+        schedule.place(op, start)
+    return schedule

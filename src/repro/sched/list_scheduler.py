@@ -1,0 +1,111 @@
+"""Resource-constrained list scheduling.
+
+This produces the *final* hardware schedule of a BSB under a concrete
+allocation: the schedule PACE uses to compute the hardware execution
+time, and the one section 5.1 contrasts with the optimistic ASAP-based
+controller estimate.
+
+Priority function: smallest ALAP start first (least slack), breaking
+ties by uid for determinism — the classic list-scheduling heuristic the
+LYCOS estimators are described as using.
+"""
+
+from repro.errors import ResourceError, SchedulingError
+from repro.sched.alap import alap_schedule
+from repro.sched.schedule import Schedule, latency_table
+
+
+def list_schedule(dfg, allocation, library):
+    """Schedule ``dfg`` under the unit counts of ``allocation``.
+
+    Args:
+        dfg: The data-flow graph to schedule.
+        allocation: A mapping resource name -> instance count (an
+            :class:`~repro.core.rmap.RMap` or plain dict).
+        library: The resource library defining which resource executes
+            each operation type and its latency.
+
+    Returns:
+        A complete :class:`~repro.sched.schedule.Schedule`.
+
+    Raises:
+        SchedulingError: If some operation's designated resource has a
+            zero instance count (the BSB cannot execute in hardware).
+        ResourceError: If the library lacks a resource for some type.
+    """
+    latencies = latency_table(dfg, library=library)
+    schedule = Schedule(dfg, latencies)
+    if not len(dfg):
+        return schedule
+
+    resource_of = {}
+    for op in dfg.operations():
+        if not library.supports(op.optype):
+            raise ResourceError(
+                "library %r has no resource for %s (operation %s)"
+                % (library.name, op.optype, op))
+        resource_of[op.uid] = library.resource_for(op.optype).name
+
+    counts = {name: int(allocation.get(name, 0))
+              for name in set(resource_of.values())}
+    for op in dfg.operations():
+        if counts[resource_of[op.uid]] <= 0:
+            raise SchedulingError(
+                "allocation has no %r instance; DFG %r cannot run in "
+                "hardware" % (resource_of[op.uid], dfg.name))
+
+    alap = alap_schedule(dfg, library=library)
+    priority = {op.uid: (alap.start(op), op.uid) for op in dfg.operations()}
+
+    remaining_preds = {op.uid: len(dfg.predecessors(op))
+                       for op in dfg.operations()}
+    ready = sorted((op for op in dfg.operations()
+                    if remaining_preds[op.uid] == 0),
+                   key=lambda op: priority[op.uid])
+    # busy_until[name] holds the finish steps of in-flight ops per unit pool
+    in_flight = []  # (finish_step, op)
+    placed = 0
+    step = 1
+    free = dict(counts)
+    max_steps_guard = 4 * (sum(latencies.values()) + len(dfg) + 1)
+
+    while placed < len(dfg):
+        if step > max_steps_guard:
+            raise SchedulingError(
+                "list scheduler failed to converge on DFG %r" % dfg.name)
+        # Retire operations finishing before this step; release units and
+        # mark successors ready.
+        still_flying = []
+        for finish, op in in_flight:
+            if finish < step:
+                free[resource_of[op.uid]] += 1
+                for successor in dfg.successors(op):
+                    remaining_preds[successor.uid] -= 1
+                    if remaining_preds[successor.uid] == 0:
+                        ready.append(successor)
+            else:
+                still_flying.append((finish, op))
+        in_flight = still_flying
+        ready.sort(key=lambda op: priority[op.uid])
+
+        # Issue as many ready operations as free units allow.
+        deferred = []
+        for op in ready:
+            name = resource_of[op.uid]
+            if free[name] > 0:
+                free[name] -= 1
+                schedule.place(op, step)
+                in_flight.append((step + latencies[op.uid] - 1, op))
+                placed += 1
+            else:
+                deferred.append(op)
+        ready = deferred
+        step += 1
+
+    schedule.verify_dependencies()
+    return schedule
+
+
+def hardware_steps(dfg, allocation, library):
+    """Schedule length (control steps) of ``dfg`` under ``allocation``."""
+    return list_schedule(dfg, allocation, library).length

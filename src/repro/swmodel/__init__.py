@@ -1,0 +1,20 @@
+"""Software execution model: the processor side of the target.
+
+In the co-processor target architecture, operations mapped to software
+execute serially on the processor.  The model assigns each operation
+type a cycle count; the software time of a BSB is its profile count
+times the sum of its operations' cycles.
+"""
+
+from repro.swmodel.processor import Processor, default_processor
+from repro.swmodel.estimator import (
+    bsb_software_time,
+    application_software_time,
+)
+
+__all__ = [
+    "Processor",
+    "default_processor",
+    "bsb_software_time",
+    "application_software_time",
+]

@@ -1,0 +1,73 @@
+"""Processor model: per-operation software cycle counts."""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.ir.ops import OpType
+
+
+def _default_cycle_table():
+    """Cycle counts of a simple embedded RISC core.
+
+    Multiplication and division are the expensive operations — the
+    imbalance that makes hardware data-paths attractive in the first
+    place and that the paper's benchmarks (Mandelbrot, eigen) stress.
+    """
+    return {
+        OpType.ADD: 2,
+        OpType.SUB: 2,
+        OpType.MUL: 18,
+        OpType.DIV: 40,
+        OpType.MOD: 40,
+        OpType.CONST: 1,
+        OpType.CMP: 2,
+        OpType.SHIFT: 2,
+        OpType.AND: 1,
+        OpType.OR: 1,
+        OpType.XOR: 1,
+        OpType.NOT: 1,
+        OpType.NEG: 2,
+        OpType.MOV: 1,
+        OpType.LOAD: 4,
+        OpType.STORE: 4,
+    }
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A processor with a per-operation-type cycle table.
+
+    Attributes:
+        name: Identifier of the core.
+        cycle_table: Mapping :class:`OpType` -> cycles per execution.
+        sequential_overhead: Cycles added per operation for fetch/decode
+            and register traffic (models the serial instruction stream).
+    """
+
+    name: str = "risc-core"
+    cycle_table: dict = field(default_factory=_default_cycle_table)
+    sequential_overhead: int = 2
+
+    def cycles_for(self, optype):
+        """Software cycles to execute one operation of ``optype``."""
+        try:
+            base = self.cycle_table[optype]
+        except KeyError:
+            raise ReproError("processor %r has no cycle count for %s"
+                             % (self.name, optype)) from None
+        return base + self.sequential_overhead
+
+    def validate(self):
+        """Raise ``ReproError`` on non-positive cycle counts."""
+        for optype, cycles in self.cycle_table.items():
+            if cycles < 1:
+                raise ReproError("cycle count for %s must be >= 1, got %r"
+                                 % (optype, cycles))
+        if self.sequential_overhead < 0:
+            raise ReproError("sequential overhead must be >= 0")
+        return self
+
+
+def default_processor():
+    """The processor model used by the reproduction's experiments."""
+    return Processor().validate()

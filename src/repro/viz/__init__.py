@@ -1,0 +1,20 @@
+"""Visualisation: Graphviz DOT export for DFGs, CDFGs and schedules.
+
+The paper's figures are graphs (Figure 4's CDFG/BSB correspondence,
+Figure 5's schedule intervals); these exporters let users render their
+own applications the same way with ``dot -Tpng``.
+"""
+
+from repro.viz.dot import (
+    dfg_to_dot,
+    cdfg_to_dot,
+    bsb_hierarchy_to_dot,
+    schedule_to_dot,
+)
+
+__all__ = [
+    "dfg_to_dot",
+    "cdfg_to_dot",
+    "bsb_hierarchy_to_dot",
+    "schedule_to_dot",
+]

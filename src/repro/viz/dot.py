@@ -1,0 +1,156 @@
+"""Graphviz DOT exporters.
+
+All functions return DOT source text; no Graphviz installation is
+required (or imported) — render externally with ``dot -Tpng``.
+"""
+
+from repro.bsb.bsb import ControlBSB, LeafBSB
+from repro.cdfg.nodes import (
+    CdfgBranch,
+    CdfgLeaf,
+    CdfgLoop,
+    CdfgSeq,
+    CdfgWait,
+)
+from repro.ir.ops import OpType
+
+#: Fill colours per operation category (pastel, print-friendly).
+_OP_COLORS = {
+    OpType.MUL: "#f4cccc",
+    OpType.DIV: "#ea9999",
+    OpType.MOD: "#ea9999",
+    OpType.ADD: "#d9ead3",
+    OpType.SUB: "#d9ead3",
+    OpType.CONST: "#fff2cc",
+    OpType.LOAD: "#cfe2f3",
+    OpType.STORE: "#cfe2f3",
+}
+_DEFAULT_COLOR = "#eeeeee"
+
+
+def _quote(text):
+    return '"%s"' % str(text).replace('"', r'\"')
+
+
+def dfg_to_dot(dfg, name=None):
+    """DOT source for a data-flow graph (one node per operation)."""
+    lines = ["digraph %s {" % _quote(name or dfg.name or "dfg"),
+             "  rankdir=TB;",
+             "  node [shape=box, style=filled, fontname=Helvetica];"]
+    for op in dfg.operations():
+        label = op.optype.value
+        if op.label:
+            label += r"\n%s" % op.label
+        color = _OP_COLORS.get(op.optype, _DEFAULT_COLOR)
+        lines.append('  n%d [label=%s, fillcolor="%s"];'
+                     % (op.uid, _quote(label), color))
+    for op in dfg.operations():
+        for successor in dfg.successors(op):
+            lines.append("  n%d -> n%d;" % (op.uid, successor.uid))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def cdfg_to_dot(root, name="cdfg"):
+    """DOT source for a CDFG (control nodes + leaf basic blocks)."""
+    lines = ["digraph %s {" % _quote(name),
+             "  rankdir=TB;",
+             "  node [fontname=Helvetica];"]
+
+    def node_id(node):
+        return "c%d" % node.uid
+
+    def emit(node):
+        if isinstance(node, CdfgLeaf):
+            label = "%s\\n%d stmts" % (node.name, len(node.statements))
+            if node.cond is not None:
+                label += "\\n[test]"
+            if node.exec_count:
+                label += "\\nx%d" % node.exec_count
+            lines.append('  %s [shape=box, style=filled, '
+                         'fillcolor="#d0e0f0", label=%s];'
+                         % (node_id(node), _quote(label)))
+            return
+        shape = {"seq": "folder", "loop": "ellipse",
+                 "branch": "diamond", "wait": "octagon"}.get(
+                     node.kind, "box")
+        lines.append('  %s [shape=%s, label=%s];'
+                     % (node_id(node), shape, _quote(node.name)))
+        children = []
+        if isinstance(node, CdfgSeq):
+            children = node.children
+        elif isinstance(node, CdfgLoop):
+            children = [node.test, node.body]
+        elif isinstance(node, CdfgBranch):
+            children = [node.test, node.then_body]
+            if node.else_body is not None:
+                children.append(node.else_body)
+        elif isinstance(node, CdfgWait):
+            children = []
+        for child in children:
+            emit(child)
+            lines.append("  %s -> %s;" % (node_id(node), node_id(child)))
+
+    emit(root)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def bsb_hierarchy_to_dot(root, name="bsbs"):
+    """DOT source for a BSB hierarchy (Figure 4, right-hand side)."""
+    lines = ["digraph %s {" % _quote(name),
+             "  rankdir=TB;",
+             "  node [fontname=Helvetica];"]
+
+    def node_id(node):
+        return "b%d" % node.uid
+
+    def emit(node):
+        if isinstance(node, LeafBSB):
+            label = "%s\\n%d ops, x%d" % (node.name, len(node.dfg),
+                                          node.profile_count)
+            lines.append('  %s [shape=box, style=filled, '
+                         'fillcolor="#d9ead3", label=%s];'
+                         % (node_id(node), _quote(label)))
+            return
+        lines.append('  %s [shape=folder, label=%s];'
+                     % (node_id(node), _quote("%s (%s)"
+                                              % (node.name, node.kind))))
+        if isinstance(node, ControlBSB):
+            for child in node.children:
+                emit(child)
+                lines.append("  %s -> %s;"
+                             % (node_id(node), node_id(child)))
+
+    emit(root)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(schedule, name="schedule"):
+    """DOT source for a schedule: operations clustered by control step.
+
+    The Figure 5 view: one rank per control step, operations placed at
+    their start step, dependency edges overlaid.
+    """
+    dfg = schedule.dfg
+    lines = ["digraph %s {" % _quote(name),
+             "  rankdir=TB;",
+             "  node [shape=box, style=filled, fontname=Helvetica];"]
+    for step in range(1, schedule.length + 1):
+        starters = schedule.operations_starting_at(step)
+        if not starters:
+            continue
+        lines.append("  subgraph cluster_t%d {" % step)
+        lines.append('    label="t=%d";' % step)
+        for op in starters:
+            color = _OP_COLORS.get(op.optype, _DEFAULT_COLOR)
+            label = "%s (%d)" % (op.optype.value, schedule.latency(op))
+            lines.append('    n%d [label=%s, fillcolor="%s"];'
+                         % (op.uid, _quote(label), color))
+        lines.append("  }")
+    for op in dfg.operations():
+        for successor in dfg.successors(op):
+            lines.append("  n%d -> n%d;" % (op.uid, successor.uid))
+    lines.append("}")
+    return "\n".join(lines)

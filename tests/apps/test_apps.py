@@ -1,0 +1,175 @@
+"""Tests for the four benchmark applications.
+
+Beyond compiling and profiling, these check the *characteristics* the
+paper attributes to each benchmark (the constant-loading BSB of man,
+the parallel divisions of eigen, ...).
+"""
+
+import pytest
+
+from repro.apps import eigen, hal, mandelbrot, straight
+from repro.apps.registry import (
+    application_names,
+    application_spec,
+    load_application,
+)
+from repro.core.restrictions import asap_restrictions
+from repro.errors import ReproError
+from repro.ir.ops import OpType
+from repro.sched.asap import asap_schedule
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {name: load_application(name) for name in application_names()}
+
+
+class TestRegistry:
+    def test_names_in_table1_order(self):
+        assert application_names() == ["straight", "hal", "man", "eigen"]
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ReproError):
+            load_application("doom")
+        with pytest.raises(ReproError):
+            application_spec("doom")
+
+    def test_specs_match_paper_rows(self):
+        spec = application_spec("man")
+        assert spec.paper_su == 30.0
+        assert spec.paper_su_best == 3081.0
+        assert application_spec("hal").paper_lines == 61
+
+    def test_all_specs_have_positive_area(self):
+        for name in application_names():
+            assert application_spec(name).total_area > 0
+
+
+class TestAllApplications:
+    def test_compile_and_profile(self, programs):
+        for name, program in programs.items():
+            assert program.bsbs, name
+            assert all(len(bsb.dfg) > 0 for bsb in program.bsbs), name
+
+    def test_profile_counts_positive_somewhere(self, programs):
+        for name, program in programs.items():
+            assert any(bsb.profile_count > 0 for bsb in program.bsbs), name
+
+    def test_outputs_produced(self, programs):
+        for name, program in programs.items():
+            assert program.outputs, name
+
+    def test_reads_writes_populated(self, programs):
+        for name, program in programs.items():
+            assert any(bsb.reads for bsb in program.bsbs), name
+            assert any(bsb.writes for bsb in program.bsbs), name
+
+    def test_deterministic_recompile(self):
+        first = load_application("hal")
+        second = load_application("hal")
+        assert ([bsb.profile_count for bsb in first.bsbs]
+                == [bsb.profile_count for bsb in second.bsbs])
+
+
+class TestHal:
+    def test_loop_runs_32_steps(self, programs):
+        assert programs["hal"].outputs["steps"] == 32
+
+    def test_integration_reaches_bound(self, programs):
+        assert programs["hal"].outputs["xf"] >= hal.INPUTS["a"]
+
+    def test_body_is_multiply_heavy(self, programs):
+        program = programs["hal"]
+        body = max(program.bsbs,
+                   key=lambda bsb: bsb.profile_count * len(bsb.dfg))
+        counts = body.dfg.count_by_type()
+        assert counts.get(OpType.MUL, 0) >= 4
+
+    def test_solution_stays_bounded(self, programs):
+        # The forward-Euler run must not blow up numerically.
+        assert abs(programs["hal"].outputs["yf"]) < 10 * hal.SCALE
+        assert abs(programs["hal"].outputs["uf"]) < 10 * hal.SCALE
+
+
+class TestMandelbrot:
+    def test_inside_pixels_found(self, programs):
+        inside = programs["man"].outputs["inside"]
+        total_pixels = (mandelbrot.INPUTS["width"]
+                        * mandelbrot.INPUTS["height"])
+        assert 0 < inside < total_pixels
+
+    def test_palette_block_characteristics(self, programs, library):
+        """The paper's man anomaly: a single BSB with many parallel
+        constant loads and an ASAP length of one control step."""
+        program = programs["man"]
+        palette = None
+        for bsb in program.bsbs:
+            counts = bsb.dfg.count_by_type()
+            if counts.get(OpType.CONST, 0) >= 20:
+                palette = bsb
+                break
+        assert palette is not None, "no constant-loading BSB found"
+        assert asap_schedule(palette.dfg, library=library).length == 1
+
+    def test_constgen_restriction_is_high(self, programs, library):
+        restrictions = asap_restrictions(programs["man"].bsbs, library)
+        assert restrictions["constgen"] >= 20
+
+    def test_escape_loop_is_hot(self, programs, processor):
+        from repro.swmodel.estimator import bsb_software_time
+
+        program = programs["man"]
+        times = sorted((bsb_software_time(bsb, processor), bsb.name)
+                       for bsb in program.bsbs)
+        total = sum(time for time, _ in times)
+        # The hottest BSB (the escape iteration) dominates.
+        assert times[-1][0] > 0.25 * total
+
+
+class TestEigen:
+    def test_divider_restriction_is_two(self, programs, library):
+        """The parallel cos/sin divisions cap the divider at exactly 2 —
+        the unit the paper's design iteration removes."""
+        restrictions = asap_restrictions(programs["eigen"].bsbs, library)
+        assert restrictions["divider"] == 2
+
+    def test_multiplier_cap_stays_low(self, programs, library):
+        restrictions = asap_restrictions(programs["eigen"].bsbs, library)
+        assert restrictions["multiplier"] <= 3
+
+    def test_division_heavy(self, programs):
+        total_divs = sum(
+            bsb.dfg.count_by_type().get(OpType.DIV, 0)
+            for bsb in programs["eigen"].bsbs)
+        assert total_divs >= 8
+
+    def test_uses_memory_traffic(self, programs):
+        types = set()
+        for bsb in programs["eigen"].bsbs:
+            types |= bsb.dfg.op_types()
+        assert OpType.LOAD in types
+        assert OpType.STORE in types
+
+    def test_diagonal_trace_positive(self, programs):
+        assert programs["eigen"].outputs["trace"] > 0
+
+
+class TestStraight:
+    def test_mostly_straight_line(self, programs):
+        """Most of the code sits in large basic blocks."""
+        program = programs["straight"]
+        largest = max(len(bsb.dfg) for bsb in program.bsbs)
+        total = sum(len(bsb.dfg) for bsb in program.bsbs)
+        assert largest >= 0.4 * total
+
+    def test_no_divisions(self, programs):
+        for bsb in programs["straight"].bsbs:
+            assert OpType.DIV not in bsb.dfg.op_types()
+
+    def test_fir_parallelism(self, programs, library):
+        restrictions = asap_restrictions(programs["straight"].bsbs,
+                                         library)
+        assert restrictions["multiplier"] >= 8
+
+    def test_peak_saturation_works(self, programs):
+        assert programs["straight"].outputs["peak"] <= 8192

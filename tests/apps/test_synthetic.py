@@ -1,0 +1,63 @@
+"""Tests for the synthetic BSB-array generators."""
+
+import pytest
+
+from repro.apps.synthetic import synthetic_bsb, synthetic_bsb_array
+from repro.core.allocator import allocate
+from repro.core.furo import furo
+from repro.ir.ops import OpType
+
+
+class TestSyntheticBsb:
+    def test_requested_size(self):
+        bsb = synthetic_bsb(20, seed=3)
+        assert len(bsb.dfg) == 20
+
+    def test_deterministic(self):
+        first = synthetic_bsb(15, seed=9)
+        second = synthetic_bsb(15, seed=9)
+        assert ([op.optype for op in first.dfg.operations()]
+                == [op.optype for op in second.dfg.operations()])
+
+    def test_seed_changes_content(self):
+        first = synthetic_bsb(15, seed=9)
+        second = synthetic_bsb(15, seed=10)
+        assert ([op.optype for op in first.dfg.operations()]
+                != [op.optype for op in second.dfg.operations()])
+
+    def test_fully_parallel_maximises_furo(self, library):
+        parallel = synthetic_bsb(12, seed=5, chain_probability=0.0,
+                                 mix=[OpType.ADD])
+        chained = synthetic_bsb(12, seed=5, chain_probability=1.0,
+                                mix=[OpType.ADD])
+        assert (furo(parallel, library=library)[OpType.ADD]
+                > furo(chained, library=library)[OpType.ADD])
+
+    def test_chain_probability_one_yields_chain(self):
+        bsb = synthetic_bsb(10, seed=5, chain_probability=1.0)
+        # Every op except the first has exactly one predecessor.
+        preds = [len(bsb.dfg.predecessors(op))
+                 for op in bsb.dfg.topological_order()]
+        assert preds[0] == 0
+        assert all(count == 1 for count in preds[1:])
+
+
+class TestSyntheticArray:
+    def test_shape(self):
+        bsbs = synthetic_bsb_array(6, 10)
+        assert len(bsbs) == 6
+        assert all(len(bsb.dfg) == 10 for bsb in bsbs)
+
+    def test_profiles_ramp(self):
+        bsbs = synthetic_bsb_array(5, 8)
+        assert [bsb.profile_count for bsb in bsbs] == [1, 2, 3, 4, 5]
+
+    def test_dataflow_chained(self):
+        bsbs = synthetic_bsb_array(4, 8)
+        for previous, current in zip(bsbs, bsbs[1:]):
+            assert current.reads <= previous.writes
+
+    def test_allocatable_end_to_end(self, library):
+        bsbs = synthetic_bsb_array(8, 16)
+        result = allocate(bsbs, library, area=20000.0)
+        assert not result.allocation.is_empty()

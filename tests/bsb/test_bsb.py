@@ -1,0 +1,82 @@
+"""Tests for BSB node classes."""
+
+import pytest
+
+from repro.bsb.bsb import (
+    BranchBSB,
+    LeafBSB,
+    LoopBSB,
+    SequenceBSB,
+    WaitBSB,
+)
+from repro.errors import CdfgError
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+
+from tests.conftest import make_diamond_dfg, make_leaf
+
+
+class TestLeafBSB:
+    def test_requires_dfg(self):
+        with pytest.raises(CdfgError):
+            LeafBSB("not a dfg")
+
+    def test_negative_profile_rejected(self):
+        with pytest.raises(CdfgError):
+            LeafBSB(DFG("x"), profile_count=-1)
+
+    def test_defaults(self):
+        dfg = make_diamond_dfg()
+        leaf = LeafBSB(dfg)
+        assert leaf.profile_count == 1
+        assert leaf.reads == frozenset()
+        assert leaf.name == dfg.name
+
+    def test_op_types_and_count(self):
+        leaf = make_leaf(make_diamond_dfg())
+        assert leaf.op_types() == {OpType.MUL, OpType.ADD}
+        assert leaf.operation_count() == 3
+
+    def test_leaves_returns_self(self):
+        leaf = make_leaf(make_diamond_dfg())
+        assert leaf.leaves() == [leaf]
+
+    def test_unique_uids(self):
+        first = make_leaf(make_diamond_dfg())
+        second = make_leaf(make_diamond_dfg())
+        assert first.uid != second.uid
+
+
+class TestControlBSBs:
+    def test_sequence_flattens_in_order(self):
+        leaves = [make_leaf(make_diamond_dfg(), name="L%d" % i)
+                  for i in range(3)]
+        seq = SequenceBSB(leaves)
+        assert [leaf.name for leaf in seq.leaves()] == ["L0", "L1", "L2"]
+
+    def test_loop_includes_test_first(self):
+        test = make_leaf(make_diamond_dfg(), name="test")
+        body = make_leaf(make_diamond_dfg(), name="body")
+        loop = LoopBSB(test, [body])
+        assert [leaf.name for leaf in loop.leaves()] == ["test", "body"]
+
+    def test_branch_covers_all_branches(self):
+        test = make_leaf(make_diamond_dfg(), name="test")
+        then_leaf = make_leaf(make_diamond_dfg(), name="then")
+        else_leaf = make_leaf(make_diamond_dfg(), name="else")
+        branch = BranchBSB(test, [[then_leaf], [else_leaf]])
+        assert [leaf.name for leaf in branch.leaves()] == [
+            "test", "then", "else"]
+
+    def test_wait_has_no_leaves(self):
+        wait = WaitBSB([])
+        assert wait.leaves() == []
+
+    def test_nested_hierarchy(self):
+        inner = SequenceBSB([make_leaf(make_diamond_dfg(), name="deep")])
+        outer = SequenceBSB([inner])
+        assert [leaf.name for leaf in outer.leaves()] == ["deep"]
+
+    def test_non_bsb_child_rejected(self):
+        with pytest.raises(CdfgError):
+            SequenceBSB(["garbage"])

@@ -1,0 +1,61 @@
+"""Tests for BSB hierarchy flattening and rendering."""
+
+import pytest
+
+from repro.bsb.bsb import LoopBSB, SequenceBSB
+from repro.bsb.hierarchy import (
+    hierarchy_lines,
+    leaf_array,
+    total_operations,
+    weighted_operations,
+)
+from repro.errors import CdfgError
+
+from tests.conftest import make_diamond_dfg, make_leaf
+
+
+@pytest.fixture
+def hierarchy():
+    setup = make_leaf(make_diamond_dfg(), name="setup", profile=1)
+    test = make_leaf(make_diamond_dfg(), name="test", profile=11)
+    body = make_leaf(make_diamond_dfg(), name="body", profile=10)
+    return SequenceBSB([setup, LoopBSB(test, [body])], name="main")
+
+
+class TestLeafArray:
+    def test_flattening_order(self, hierarchy):
+        names = [leaf.name for leaf in leaf_array(hierarchy)]
+        assert names == ["setup", "test", "body"]
+
+    def test_rejects_non_bsb(self):
+        with pytest.raises(CdfgError):
+            leaf_array("nope")
+
+    def test_single_leaf_root(self):
+        leaf = make_leaf(make_diamond_dfg(), name="only")
+        assert leaf_array(leaf) == [leaf]
+
+
+class TestStatistics:
+    def test_total_operations(self, hierarchy):
+        assert total_operations(hierarchy) == 9  # 3 leaves x 3 ops
+
+    def test_weighted_operations(self, hierarchy):
+        assert weighted_operations(hierarchy) == 3 * (1 + 11 + 10)
+
+
+class TestRendering:
+    def test_lines_mention_all_nodes(self, hierarchy):
+        text = "\n".join(hierarchy_lines(hierarchy))
+        for name in ("main", "setup", "test", "body"):
+            assert name in text
+
+    def test_leaf_lines_show_profile(self, hierarchy):
+        text = "\n".join(hierarchy_lines(hierarchy))
+        assert "profile 10" in text
+
+    def test_indentation_reflects_depth(self, hierarchy):
+        lines = hierarchy_lines(hierarchy)
+        root_indent = len(lines[0]) - len(lines[0].lstrip())
+        leaf_indent = len(lines[1]) - len(lines[1].lstrip())
+        assert leaf_indent > root_indent

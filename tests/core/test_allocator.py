@@ -1,0 +1,197 @@
+"""Tests for Algorithm 1, the hardware allocation algorithm."""
+
+import pytest
+
+from repro.core.allocator import (
+    allocate,
+    most_urgent_resource,
+    required_resources,
+)
+from repro.core.furo import UrgencyState
+from repro.core.restrictions import asap_restrictions
+from repro.core.rmap import RMap
+from repro.errors import AllocationError
+from repro.hwlib.library import ResourceLibrary
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+
+from tests.conftest import (
+    make_chain_dfg,
+    make_diamond_dfg,
+    make_leaf,
+    make_parallel_dfg,
+)
+
+
+class TestRequiredResources:
+    def test_minimal_one_of_each(self, library):
+        bsb = make_leaf(make_diamond_dfg())
+        required = required_resources(bsb, library)
+        assert required == RMap({"multiplier": 1, "adder": 1})
+
+    def test_duplicates_not_required(self, library):
+        bsb = make_leaf(make_parallel_dfg(OpType.MUL, 7))
+        assert required_resources(bsb, library) == RMap({"multiplier": 1})
+
+    def test_unsupported_type_raises(self):
+        lib = ResourceLibrary("tiny")
+        lib.add_single("adder", OpType.ADD, 100.0)
+        bsb = make_leaf(make_parallel_dfg(OpType.DIV, 1))
+        with pytest.raises(AllocationError):
+            required_resources(bsb, lib)
+
+
+class TestMostUrgentResource:
+    def test_returns_resource_for_top_type(self, library):
+        dfg = DFG("mixed")
+        for _ in range(4):
+            dfg.new_operation(OpType.MUL)
+        dfg.new_operation(OpType.ADD)
+        bsb = make_leaf(dfg)
+        state = UrgencyState([bsb], library=library)
+        resource = most_urgent_resource(bsb, state, RMap(), library)
+        assert resource.name == "multiplier"
+
+    def test_empty_bsb_returns_none(self, library):
+        bsb = make_leaf(DFG("empty"))
+        state = UrgencyState([bsb], library=library)
+        assert most_urgent_resource(bsb, state, RMap(), library) is None
+
+
+class TestAllocateBasics:
+    def test_zero_area_allocates_nothing(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=0.0)
+        assert result.allocation.is_empty()
+        assert result.hw_bsb_names == []
+
+    def test_negative_area_rejected(self, library, two_bsbs):
+        with pytest.raises(AllocationError):
+            allocate(two_bsbs, library, area=-1.0)
+
+    def test_empty_bsb_array(self, library):
+        result = allocate([], library, area=1000.0)
+        assert result.allocation.is_empty()
+
+    def test_single_bsb_gets_required_resources(self, library,
+                                                diamond_bsb):
+        result = allocate([diamond_bsb], library, area=50000.0)
+        assert result.allocation.covers(
+            RMap({"multiplier": 1, "adder": 1}))
+        assert diamond_bsb.name in result.hw_bsb_names
+
+    def test_insufficient_area_for_any_move(self, library, diamond_bsb):
+        # The diamond needs a multiplier (1000) plus adder plus ECA.
+        result = allocate([diamond_bsb], library, area=500.0)
+        assert result.hw_bsb_names == []
+        assert result.allocation.is_empty()
+
+
+class TestAllocateInvariants:
+    def test_never_exceeds_area(self, library, two_bsbs):
+        for area in (500.0, 2000.0, 5000.0, 20000.0):
+            result = allocate(two_bsbs, library, area=area)
+            used = (result.datapath_area + result.controller_area)
+            assert used <= area + 1e-9
+            assert result.remaining_area == pytest.approx(area - used)
+
+    def test_respects_restrictions(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=100000.0)
+        restrictions = asap_restrictions(two_bsbs, library)
+        for name, count in result.allocation.items():
+            assert count <= restrictions[name]
+
+    def test_respects_custom_restrictions(self, library, two_bsbs):
+        custom = RMap({"adder": 1, "multiplier": 1, "subtractor": 1,
+                       "constgen": 1, "mover": 1})
+        result = allocate(two_bsbs, library, area=100000.0,
+                          restrictions=custom)
+        for name, count in result.allocation.items():
+            assert count <= custom[name]
+
+    def test_datapath_area_consistent(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=20000.0)
+        assert result.allocation.area(library) == pytest.approx(
+            result.datapath_area)
+
+    def test_allocation_grows_with_area(self, library, two_bsbs):
+        small = allocate(two_bsbs, library, area=2000.0)
+        large = allocate(two_bsbs, library, area=50000.0)
+        assert large.allocation.covers(small.allocation)
+
+    def test_moved_bsbs_executable(self, library, two_bsbs):
+        from repro.sched.list_scheduler import list_schedule
+
+        result = allocate(two_bsbs, library, area=50000.0)
+        by_name = {bsb.name: bsb for bsb in two_bsbs}
+        for name in result.hw_bsb_names:
+            # Must not raise: every required unit has a positive count.
+            list_schedule(by_name[name].dfg, result.allocation, library)
+
+
+class TestAllocateDynamics:
+    def test_hot_bsb_served_first(self, library):
+        hot = make_leaf(make_parallel_dfg(OpType.MUL, 3, "hot"),
+                        profile=1000, name="hot")
+        cold = make_leaf(make_parallel_dfg(OpType.DIV, 3, "cold"),
+                         profile=1, name="cold")
+        # Area fits one move plus a little: the hot BSB must win.
+        result = allocate([cold, hot], library, area=2500.0)
+        assert result.hw_bsb_names[0] == "hot"
+
+    def test_extra_units_for_parallel_hot_block(self, library):
+        hot = make_leaf(make_parallel_dfg(OpType.MUL, 3, "hot"),
+                        profile=1000, name="hot")
+        result = allocate([hot], library, area=20000.0)
+        # Restriction cap is 3; with abundant area all 3 are allocated.
+        assert result.allocation["multiplier"] == 3
+
+    def test_shared_resources_reused(self, library):
+        first = make_leaf(make_parallel_dfg(OpType.ADD, 2, "one"),
+                          profile=10, name="one")
+        second = make_leaf(make_parallel_dfg(OpType.ADD, 2, "two"),
+                           profile=8, name="two")
+        result = allocate([first, second], library, area=3000.0,
+                          keep_trace=True)
+        assert set(result.hw_bsb_names) == {"one", "two"}
+        # The second move must not re-pay the adder.
+        moves = [event for event in result.events if event.kind == "move"]
+        assert moves[0].resources == {"adder": 1}
+        assert moves[1].resources == {}
+
+    def test_trace_records_events(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=20000.0,
+                          keep_trace=True)
+        assert result.events
+        assert all(event.remaining_area >= 0 for event in result.events)
+        assert result.trace_lines()
+
+    def test_no_trace_by_default(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=20000.0)
+        assert result.events == []
+
+    def test_runtime_recorded(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=20000.0)
+        assert result.runtime_seconds >= 0.0
+
+    def test_deterministic(self, library, two_bsbs):
+        first = allocate(two_bsbs, library, area=20000.0)
+        second = allocate(two_bsbs, library, area=20000.0)
+        assert first.allocation == second.allocation
+        assert first.hw_bsb_names == second.hw_bsb_names
+
+
+class TestTermination:
+    def test_terminates_on_chain_heavy_input(self, library):
+        bsbs = [make_leaf(make_chain_dfg([OpType.ADD, OpType.MUL] * 5,
+                                         "c%d" % i), profile=i + 1,
+                          name="C%d" % i) for i in range(10)]
+        result = allocate(bsbs, library, area=100000.0)
+        assert result.allocation["adder"] == 1
+        assert result.allocation["multiplier"] == 1
+
+    def test_terminates_with_huge_area(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=10**9)
+        restrictions = asap_restrictions(two_bsbs, library)
+        # Restrictions bound the allocation even with unlimited area.
+        for name, count in result.allocation.items():
+            assert count <= restrictions[name]

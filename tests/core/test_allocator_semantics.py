@@ -1,0 +1,120 @@
+"""Tests pinning down Algorithm 1's subtler semantics.
+
+These behaviours follow the pseudocode *exactly* and are easy to break
+in refactors: restriction checks apply only to extra units (the
+minimal move-set is exempt), controller-only moves do not trigger
+re-prioritisation, and the scan restarts from the front after changes.
+"""
+
+import pytest
+
+from repro.core.allocator import allocate
+from repro.core.eca import estimated_controller_area
+from repro.core.rmap import RMap
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+
+from tests.conftest import make_leaf, make_parallel_dfg
+
+
+class TestRestrictionScope:
+    def test_minimal_move_set_ignores_restrictions(self, library):
+        """Algorithm 1 checks Restrictions(R) only in the extra-unit
+        branch; GetReqResources' one-of-each minimum is always allowed
+        (a BSB could never move otherwise)."""
+        bsb = make_leaf(make_parallel_dfg(OpType.MUL, 3), profile=10,
+                        name="B")
+        zero_caps = RMap({"multiplier": 0})
+        result = allocate([bsb], library, area=20000.0,
+                          restrictions=zero_caps)
+        # The move still allocated the one required multiplier...
+        assert result.allocation["multiplier"] == 1
+        # ...but no extra units beyond it.
+        assert result.hw_bsb_names == ["B"]
+
+    def test_extra_units_stop_at_cap(self, library):
+        bsb = make_leaf(make_parallel_dfg(OpType.MUL, 5), profile=10,
+                        name="B")
+        capped = RMap({"multiplier": 2})
+        result = allocate([bsb], library, area=50000.0,
+                          restrictions=capped)
+        assert result.allocation["multiplier"] == 2
+
+
+class TestEventAccounting:
+    def test_trace_costs_sum_to_area_used(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=20000.0,
+                          keep_trace=True)
+        traced = sum(event.cost for event in result.events)
+        used = result.datapath_area + result.controller_area
+        assert traced == pytest.approx(used)
+
+    def test_remaining_area_monotone_in_trace(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=20000.0,
+                          keep_trace=True)
+        remainders = [event.remaining_area for event in result.events]
+        assert remainders == sorted(remainders, reverse=True)
+
+    def test_move_events_match_hw_names(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=20000.0,
+                          keep_trace=True)
+        moved = [event.bsb_name for event in result.events
+                 if event.kind == "move"]
+        assert moved == result.hw_bsb_names
+
+
+class TestEcaInteraction:
+    def test_controller_area_equals_sum_of_ecas(self, library,
+                                                two_bsbs):
+        result = allocate(two_bsbs, library, area=20000.0)
+        expected = sum(estimated_controller_area(bsb.dfg,
+                                                 library=library)
+                       for bsb in two_bsbs
+                       if bsb.name in result.hw_bsb_names)
+        assert result.controller_area == pytest.approx(expected)
+
+    def test_large_eca_blocks_cheap_resources(self, library):
+        """A long single-chain BSB has a huge ECA: at tight area the
+        move fails even though its one resource is cheap."""
+        dfg = DFG("chain")
+        previous = None
+        for _ in range(60):
+            op = dfg.new_operation(OpType.ADD)
+            if previous is not None:
+                dfg.add_dependency(previous, op)
+            previous = op
+        bsb = make_leaf(dfg, profile=10, name="chain")
+        eca = estimated_controller_area(dfg, library=library)
+        assert eca > 1000  # 60 states is an expensive controller
+        result = allocate([bsb], library,
+                          area=library.area_of("adder") + eca / 2)
+        assert result.hw_bsb_names == []
+
+
+class TestScanSemantics:
+    def test_equal_priority_moves_in_program_order(self, library):
+        twins = [make_leaf(make_parallel_dfg(OpType.ADD, 3, "t%d" % i),
+                           profile=7, name="T%d" % i) for i in range(3)]
+        result = allocate(twins, library, area=20000.0)
+        assert result.hw_bsb_names == ["T0", "T1", "T2"]
+
+    def test_zero_profile_bsbs_still_movable(self, library):
+        """Dead code has zero urgency but a move is still free speedup
+        bookkeeping-wise; Algorithm 1 moves it if area allows."""
+        dead = make_leaf(make_parallel_dfg(OpType.ADD, 2, "dead"),
+                         profile=0, name="dead")
+        result = allocate([dead], library, area=20000.0)
+        assert result.hw_bsb_names == ["dead"]
+
+    def test_allocation_independent_of_array_rotation(self, library):
+        """Different BSB orderings converge to the same unit counts
+        when priorities are distinct (the scan restarts on change)."""
+        bsbs = [make_leaf(make_parallel_dfg(OpType.MUL, 2, "m"),
+                          profile=100, name="m", reads={"a"},
+                          writes={"b"}),
+                make_leaf(make_parallel_dfg(OpType.ADD, 4, "a"),
+                          profile=10, name="a", reads={"b"},
+                          writes={"c"})]
+        forward = allocate(bsbs, library, area=30000.0)
+        backward = allocate(list(reversed(bsbs)), library, area=30000.0)
+        assert forward.allocation == backward.allocation

@@ -1,0 +1,85 @@
+"""Tests for the Estimated Controller Area (section 4.2)."""
+
+import math
+
+import pytest
+
+from repro.core.eca import (
+    actual_controller_area,
+    controller_area_for_states,
+    estimated_controller_area,
+    estimated_states,
+)
+from repro.errors import AllocationError
+from repro.hwlib.technology import Technology
+from repro.ir.ops import OpType
+
+from tests.conftest import make_chain_dfg, make_diamond_dfg, make_parallel_dfg
+
+
+class TestFormula:
+    def test_exact_formula(self):
+        tech = Technology(register_area=8.0, and_gate_area=2.0,
+                          or_gate_area=2.0, inverter_area=1.0)
+        states = 8
+        expected = (8.0 + 2.0 + 2.0
+                    + math.ceil(math.log2(states)) * 8.0
+                    + (states - 1) * (1.0 + 2 * 2.0))
+        assert controller_area_for_states(states, tech) == expected
+
+    def test_single_state_has_no_state_registers(self):
+        tech = Technology(register_area=8.0, and_gate_area=2.0,
+                          or_gate_area=2.0, inverter_area=1.0)
+        assert controller_area_for_states(1, tech) == 8.0 + 2.0 + 2.0
+
+    def test_monotone_in_states(self):
+        areas = [controller_area_for_states(states)
+                 for states in range(1, 40)]
+        assert areas == sorted(areas)
+
+    def test_zero_states_rejected(self):
+        with pytest.raises(AllocationError):
+            controller_area_for_states(0)
+
+
+class TestEstimatedStates:
+    def test_states_equal_asap_length(self, library):
+        dfg = make_chain_dfg([OpType.ADD] * 5)
+        assert estimated_states(dfg, library=library) == 5
+
+    def test_parallel_block_one_state(self, library):
+        dfg = make_parallel_dfg(OpType.CONST, 20)
+        assert estimated_states(dfg, library=library) == 1
+
+    def test_empty_dfg_one_state(self, library):
+        from repro.ir.dfg import DFG
+        assert estimated_states(DFG("e"), library=library) == 1
+
+    def test_latency_inflates_states(self, library):
+        dfg = make_chain_dfg([OpType.MUL, OpType.MUL])
+        assert estimated_states(dfg, library=library) == 4
+
+
+class TestOptimism:
+    """Section 5.1: the ECA is optimistic — the real controller of a
+    moved BSB (list schedule under a finite allocation) is never
+    smaller."""
+
+    def test_actual_at_least_estimated_constrained(self, library):
+        dfg = make_parallel_dfg(OpType.ADD, 6)
+        eca = estimated_controller_area(dfg, library=library)
+        actual = actual_controller_area(dfg, {"adder": 2}, library)
+        assert actual >= eca
+
+    def test_actual_equals_estimated_with_full_parallelism(self, library):
+        dfg = make_parallel_dfg(OpType.ADD, 6)
+        eca = estimated_controller_area(dfg, library=library)
+        actual = actual_controller_area(dfg, {"adder": 6}, library)
+        assert actual == eca
+
+    def test_diamond_optimism(self, library):
+        dfg = make_diamond_dfg()
+        eca = estimated_controller_area(dfg, library=library)
+        actual = actual_controller_area(
+            dfg, {"multiplier": 1, "adder": 1}, library)
+        assert actual > eca

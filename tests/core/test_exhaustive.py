@@ -1,0 +1,120 @@
+"""Tests for the exhaustive allocation search."""
+
+import pytest
+
+from repro.core.exhaustive import (
+    allocation_space,
+    enumerate_allocations,
+    exhaustive_best_allocation,
+    sample_allocations,
+    space_size,
+)
+from repro.core.rmap import RMap
+from repro.errors import AllocationError
+from repro.ir.ops import OpType
+from repro.partition.model import TargetArchitecture
+
+from tests.conftest import make_leaf, make_parallel_dfg
+
+
+@pytest.fixture
+def small_app():
+    """Two BSBs over two resource axes: multiplier (cap 2), adder (cap 3)."""
+    muls = make_leaf(make_parallel_dfg(OpType.MUL, 2, "muls"),
+                     profile=50, name="muls", reads={"a"}, writes={"b"})
+    adds = make_leaf(make_parallel_dfg(OpType.ADD, 3, "adds"),
+                     profile=20, name="adds", reads={"b"}, writes={"c"})
+    return [muls, adds]
+
+
+class TestSpace:
+    def test_space_axes(self, library, small_app):
+        names, ranges = allocation_space(small_app, library)
+        assert names == ["adder", "multiplier"]
+        assert [len(counts) for counts in ranges] == [4, 3]
+
+    def test_space_size(self, library, small_app):
+        assert space_size(small_app, library) == 12
+
+    def test_enumeration_is_complete(self, library, small_app):
+        allocations = list(enumerate_allocations(small_app, library))
+        assert len(allocations) == 12
+        assert RMap() in allocations
+        assert RMap({"adder": 3, "multiplier": 2}) in allocations
+
+    def test_enumeration_unique(self, library, small_app):
+        allocations = list(enumerate_allocations(small_app, library))
+        assert len(set(allocations)) == len(allocations)
+
+    def test_stride_subsamples(self, library, small_app):
+        strided = list(enumerate_allocations(small_app, library, stride=3))
+        assert len(strided) == 4
+
+    def test_bad_stride_rejected(self, library, small_app):
+        with pytest.raises(AllocationError):
+            list(enumerate_allocations(small_app, library, stride=0))
+
+    def test_sampling_reproducible(self, library, small_app):
+        first = list(sample_allocations(small_app, library, 20))
+        second = list(sample_allocations(small_app, library, 20))
+        assert first == second
+
+    def test_sampling_within_caps(self, library, small_app):
+        for allocation in sample_allocations(small_app, library, 50):
+            assert allocation["adder"] <= 3
+            assert allocation["multiplier"] <= 2
+
+
+class TestSearch:
+    def test_finds_best_small_space(self, library, small_app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        result = exhaustive_best_allocation(small_app, architecture,
+                                            area_quanta=100)
+        assert not result.sampled
+        assert result.evaluations <= result.space
+        # The best allocation beats or matches every enumerated one.
+        from repro.partition.evaluate import evaluate_allocation
+
+        for allocation in enumerate_allocations(small_app, library):
+            if allocation.area(library) > architecture.total_area:
+                continue
+            other = evaluate_allocation(small_app, allocation,
+                                        architecture, area_quanta=100)
+            assert result.best_evaluation.speedup >= other.speedup - 1e-9
+
+    def test_best_is_feasible(self, library, small_app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=3000.0)
+        result = exhaustive_best_allocation(small_app, architecture,
+                                            area_quanta=100)
+        assert (result.best_allocation.area(library)
+                <= architecture.total_area)
+
+    def test_sampled_mode_engages(self, library, small_app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        result = exhaustive_best_allocation(small_app, architecture,
+                                            max_evaluations=5,
+                                            area_quanta=100)
+        assert result.sampled
+        assert result.evaluations <= 5
+
+    def test_history_recorded(self, library, small_app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        result = exhaustive_best_allocation(small_app, architecture,
+                                            area_quanta=100,
+                                            keep_history=True)
+        assert len(result.history) == result.evaluations
+
+    def test_tie_break_prefers_smaller_datapath(self, library):
+        # One BSB whose speed-up saturates at one adder: any extra
+        # adders tie on speed-up, so the smaller allocation must win.
+        bsb = make_leaf(make_parallel_dfg(OpType.ADD, 1, "one"),
+                        profile=10, name="one", reads={"a"}, writes={"b"})
+        architecture = TargetArchitecture(library=library,
+                                          total_area=5000.0)
+        result = exhaustive_best_allocation([bsb], architecture,
+                                            area_quanta=100)
+        assert result.best_allocation["adder"] <= 1

@@ -1,0 +1,170 @@
+"""Tests for FURO and dynamic urgency (Definitions 2 and 3)."""
+
+import pytest
+
+from repro.core.furo import UrgencyState, allocated_units_for, furo
+from repro.core.rmap import RMap
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+
+from tests.conftest import (
+    make_chain_dfg,
+    make_diamond_dfg,
+    make_leaf,
+    make_parallel_dfg,
+)
+
+
+class TestFuroDefinition:
+    def test_two_parallel_ops_unit_mobility(self):
+        # Two independent ADDs alone in a block: both have interval
+        # (1, 1), mobility 1, overlap 1.  Ordered-pair sum = 2 * 1/1.
+        bsb = make_leaf(make_parallel_dfg(OpType.ADD, 2), profile=1)
+        assert furo(bsb)[OpType.ADD] == pytest.approx(2.0)
+
+    def test_profile_scales_linearly(self):
+        dfg = make_parallel_dfg(OpType.ADD, 2)
+        low = make_leaf(dfg, profile=1)
+        high = make_leaf(dfg, profile=7)
+        assert furo(high)[OpType.ADD] == pytest.approx(
+            7 * furo(low)[OpType.ADD])
+
+    def test_chained_ops_have_zero_furo(self):
+        # Successor pairs cannot compete for a unit (Definition 2).
+        bsb = make_leaf(make_chain_dfg([OpType.MUL, OpType.MUL]))
+        assert furo(bsb)[OpType.MUL] == 0.0
+
+    def test_transitive_successors_excluded(self):
+        dfg = make_chain_dfg([OpType.MUL, OpType.ADD, OpType.MUL])
+        bsb = make_leaf(dfg)
+        assert furo(bsb)[OpType.MUL] == 0.0
+
+    def test_single_op_zero(self):
+        bsb = make_leaf(make_parallel_dfg(OpType.DIV, 1))
+        assert furo(bsb)[OpType.DIV] == 0.0
+
+    def test_pair_count_quadratic(self):
+        # n independent unit-mobility ops: FURO = p * 2 * C(n, 2).
+        for count in (2, 3, 5):
+            bsb = make_leaf(make_parallel_dfg(OpType.ADD, count))
+            assert furo(bsb)[OpType.ADD] == pytest.approx(
+                count * (count - 1))
+
+    def test_types_scored_independently(self):
+        dfg = DFG("mixed")
+        for _ in range(2):
+            dfg.new_operation(OpType.ADD)
+        for _ in range(3):
+            dfg.new_operation(OpType.MUL)
+        bsb = make_leaf(dfg)
+        values = furo(bsb)
+        assert values[OpType.ADD] == pytest.approx(2.0)
+        assert values[OpType.MUL] == pytest.approx(6.0)
+
+    def test_mobility_discounts_overlap(self):
+        # Diamond: the two MULs compete, but with library latencies they
+        # still have mobility 1 each (both feed the ADD directly), so
+        # FURO(MUL) = 2.  Adding a slack branch increases mobility and
+        # must *reduce* FURO.
+        rigid = make_leaf(make_diamond_dfg("rigid"))
+        rigid_value = furo(rigid)[OpType.MUL]
+
+        # An independent 3-op chain stretches the deadline, giving the
+        # diamond slack: every diamond op gains mobility.
+        slack_dfg = make_diamond_dfg("slack")
+        spine = [slack_dfg.new_operation(OpType.SUB) for _ in range(3)]
+        for producer, consumer in zip(spine, spine[1:]):
+            slack_dfg.add_dependency(producer, consumer)
+        slack = make_leaf(slack_dfg)
+        assert furo(slack)[OpType.MUL] < rigid_value
+
+    def test_zero_profile_gives_zero(self):
+        bsb = make_leaf(make_parallel_dfg(OpType.ADD, 4), profile=0)
+        assert furo(bsb)[OpType.ADD] == 0.0
+
+
+class TestAllocCounting:
+    def test_counts_matching_units(self, library):
+        allocation = RMap({"adder": 2, "multiplier": 1})
+        assert allocated_units_for(OpType.ADD, allocation, library) == 2
+        assert allocated_units_for(OpType.MUL, allocation, library) == 1
+        assert allocated_units_for(OpType.DIV, allocation, library) == 0
+
+    def test_multi_function_unit_counts_for_all_types(self):
+        from repro.hwlib.library import ResourceLibrary
+        from repro.hwlib.resources import Resource
+
+        lib = ResourceLibrary("t")
+        lib.add(Resource(name="alu",
+                         optypes=frozenset({OpType.ADD, OpType.SUB}),
+                         area=100.0))
+        allocation = RMap({"alu": 3})
+        assert allocated_units_for(OpType.ADD, allocation, lib) == 3
+        assert allocated_units_for(OpType.SUB, allocation, lib) == 3
+
+
+class TestUrgency:
+    """Definition 3: software BSBs keep their FURO; hardware BSBs are
+    discounted by the allocated unit count."""
+
+    def test_software_urgency_is_furo(self, library):
+        bsb = make_leaf(make_parallel_dfg(OpType.ADD, 3), profile=5)
+        state = UrgencyState([bsb], library=library)
+        assert state.urgency(bsb, OpType.ADD, False, RMap()) == \
+            pytest.approx(state.furo_value(bsb, OpType.ADD))
+
+    def test_hardware_urgency_discounted(self, library):
+        bsb = make_leaf(make_parallel_dfg(OpType.ADD, 3), profile=5)
+        state = UrgencyState([bsb], library=library)
+        base = state.furo_value(bsb, OpType.ADD)
+        assert state.urgency(bsb, OpType.ADD, True,
+                             RMap({"adder": 1})) == pytest.approx(base / 2)
+        assert state.urgency(bsb, OpType.ADD, True,
+                             RMap({"adder": 3})) == pytest.approx(base / 4)
+
+    def test_hardware_urgency_without_units(self, library):
+        bsb = make_leaf(make_parallel_dfg(OpType.ADD, 3))
+        state = UrgencyState([bsb], library=library)
+        base = state.furo_value(bsb, OpType.ADD)
+        assert state.urgency(bsb, OpType.ADD, True, RMap()) == \
+            pytest.approx(base)
+
+    def test_max_urgency_returns_argmax_type(self, library):
+        dfg = DFG("mixed")
+        for _ in range(4):
+            dfg.new_operation(OpType.MUL)
+        for _ in range(2):
+            dfg.new_operation(OpType.ADD)
+        bsb = make_leaf(dfg)
+        state = UrgencyState([bsb], library=library)
+        value, optype = state.max_urgency(bsb, False, RMap())
+        assert optype is OpType.MUL
+        assert value == pytest.approx(12.0)
+
+    def test_max_urgency_empty_bsb(self, library):
+        bsb = make_leaf(DFG("empty"))
+        state = UrgencyState([bsb], library=library)
+        assert state.max_urgency(bsb, False, RMap()) == (0.0, None)
+
+    def test_urgency_drop_shifts_argmax(self, library):
+        # With adders allocated, MUL overtakes ADD as the most urgent
+        # type of a hardware BSB (Example 2's dynamics across types).
+        # Under library latencies the block's deadline is set by the
+        # 2-cycle MULs, giving the ADDs mobility 2:
+        #   FURO(ADD) = 2*C(4,2) * (2 / (2*2)) = 6
+        #   FURO(MUL) = 2*C(3,2) * 1           = 6
+        dfg = DFG("mixed")
+        for _ in range(4):
+            dfg.new_operation(OpType.ADD)
+        for _ in range(3):
+            dfg.new_operation(OpType.MUL)
+        bsb = make_leaf(dfg)
+        state = UrgencyState([bsb], library=library)
+        assert state.furo_value(bsb, OpType.ADD) == pytest.approx(6.0)
+        assert state.furo_value(bsb, OpType.MUL) == pytest.approx(6.0)
+        # Tie with no units: the deterministic sort picks ADD.
+        _, top = state.max_urgency(bsb, True, RMap())
+        assert top is OpType.ADD
+        # One adder allocated: U(ADD) = 3 < U(MUL) = 6.
+        _, top = state.max_urgency(bsb, True, RMap({"adder": 1}))
+        assert top is OpType.MUL

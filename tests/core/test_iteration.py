@@ -1,0 +1,91 @@
+"""Tests for the reduce-only design iteration (sections 5 and 5.1)."""
+
+import pytest
+
+from repro.core.iteration import design_iteration
+from repro.core.rmap import RMap
+from repro.ir.ops import OpType
+from repro.partition.model import TargetArchitecture
+
+from tests.conftest import make_leaf, make_parallel_dfg
+
+
+@pytest.fixture
+def app(library):
+    """A modest MUL block plus a hot ADD block.
+
+    With two multipliers (2000 GE) in the data-path and a tight ASIC,
+    the hot ADD block's controller no longer fits — the second
+    multiplier is pure waste the design iteration must remove.
+    """
+    modest = make_leaf(make_parallel_dfg(OpType.MUL, 2, "modest"),
+                       profile=10, name="modest",
+                       reads={"a"}, writes={"b"})
+    hot = make_leaf(make_parallel_dfg(OpType.ADD, 4, "hot"),
+                    profile=500, name="hot", reads={"b"}, writes={"c"})
+    return [modest, hot]
+
+
+class TestDesignIteration:
+    def test_no_steps_when_allocation_good(self, library, app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=20000.0)
+        allocation = RMap({"multiplier": 2, "adder": 1})
+        result = design_iteration(app, allocation, architecture,
+                                  area_quanta=100)
+        assert not result.improved
+        assert result.final_allocation == allocation
+
+    def test_wasteful_unit_removed(self, library, app):
+        # Area is tight: a useless second multiplier (1000 GE) starves
+        # the controllers; the iteration must drop it.
+        architecture = TargetArchitecture(library=library,
+                                          total_area=2500.0)
+        wasteful = RMap({"multiplier": 2, "adder": 1})
+        result = design_iteration(app, wasteful, architecture,
+                                  area_quanta=100)
+        trimmed = {step.resource for step in result.steps}
+        assert result.improved
+        assert "multiplier" in trimmed or "adder" in trimmed
+        assert (result.final_evaluation.speedup
+                > result.initial_evaluation.speedup)
+
+    def test_steps_monotonically_improve(self, library, app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=2500.0)
+        result = design_iteration(app, RMap({"multiplier": 2, "adder": 1}),
+                                  architecture, area_quanta=100)
+        for step in result.steps:
+            assert step.speedup_after > step.speedup_before
+
+    def test_max_steps_limits_iterations(self, library, app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=2500.0)
+        result = design_iteration(app, RMap({"multiplier": 2, "adder": 1}),
+                                  architecture, area_quanta=100,
+                                  max_steps=1)
+        assert len(result.steps) <= 1
+
+    def test_only_reduces_never_increases(self, library, app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=2500.0)
+        start = RMap({"multiplier": 2, "adder": 1})
+        result = design_iteration(app, start, architecture,
+                                  area_quanta=100)
+        assert start.covers(result.final_allocation)
+
+    def test_step_str(self, library, app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=2500.0)
+        result = design_iteration(app, RMap({"multiplier": 2, "adder": 1}),
+                                  architecture, area_quanta=100)
+        for step in result.steps:
+            assert step.resource in str(step)
+
+    def test_initial_evaluation_preserved(self, library, app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=2500.0)
+        start = RMap({"multiplier": 2, "adder": 1})
+        result = design_iteration(app, start, architecture,
+                                  area_quanta=100)
+        assert result.initial_evaluation.allocation == start

@@ -1,0 +1,77 @@
+"""Tests for BSB prioritisation — including the paper's Example 2."""
+
+import pytest
+
+from repro.core.furo import UrgencyState
+from repro.core.priority import prioritize
+from repro.core.rmap import RMap
+from repro.ir.ops import OpType
+
+from tests.conftest import make_leaf, make_parallel_dfg
+
+
+class TestPaperExample2:
+    """Example 2: two single-op-type BSBs; the hotter one is moved to
+    hardware, its urgency decays as units accumulate, and eventually the
+    colder BSB overtakes it."""
+
+    def setup_method(self):
+        # Both BSBs contain only one operation type o0 (ADD here); B1 is
+        # hotter so U(o0, B1) >= U(o0, B2) initially.
+        self.b1 = make_leaf(make_parallel_dfg(OpType.ADD, 4, "b1"),
+                            profile=10, name="B1")
+        self.b2 = make_leaf(make_parallel_dfg(OpType.ADD, 4, "b2"),
+                            profile=6, name="B2")
+
+    def test_initial_priority(self, library):
+        state = UrgencyState([self.b1, self.b2], library=library)
+        order = prioritize([self.b1, self.b2], state, set(), RMap())
+        assert [bsb.name for bsb in order] == ["B1", "B2"]
+
+    def test_b1_drops_after_move_and_allocation(self, library):
+        state = UrgencyState([self.b1, self.b2], library=library)
+        furo_b1 = state.furo_value(self.b1, OpType.ADD)
+        furo_b2 = state.furo_value(self.b2, OpType.ADD)
+        assert furo_b1 >= furo_b2
+        # B1 in hardware with enough adders: U(o0, B1) drops below B2's.
+        hw = {self.b1.uid}
+        allocation = RMap({"adder": 1})
+        u_b1 = state.urgency(self.b1, OpType.ADD, True, allocation)
+        assert u_b1 == pytest.approx(furo_b1 / 2)
+        order = prioritize([self.b1, self.b2], state, hw, allocation)
+        assert [bsb.name for bsb in order] == ["B2", "B1"]
+
+    def test_more_units_keep_discounting(self, library):
+        state = UrgencyState([self.b1, self.b2], library=library)
+        hw = {self.b1.uid}
+        values = [state.urgency(self.b1, OpType.ADD, True,
+                                RMap({"adder": count}))
+                  for count in range(5)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestDeterminism:
+    def test_ties_keep_program_order(self, library):
+        twins = [make_leaf(make_parallel_dfg(OpType.ADD, 3, "t%d" % i),
+                           profile=5, name="T%d" % i) for i in range(4)]
+        state = UrgencyState(twins, library=library)
+        order = prioritize(twins, state, set(), RMap())
+        assert [bsb.name for bsb in order] == ["T0", "T1", "T2", "T3"]
+
+    def test_empty_bsb_sinks_to_bottom(self, library):
+        from repro.ir.dfg import DFG
+
+        busy = make_leaf(make_parallel_dfg(OpType.MUL, 3), profile=5,
+                         name="busy")
+        empty = make_leaf(DFG("empty"), name="empty")
+        state = UrgencyState([empty, busy], library=library)
+        order = prioritize([empty, busy], state, set(), RMap())
+        assert [bsb.name for bsb in order] == ["busy", "empty"]
+
+    def test_prioritize_does_not_mutate_input(self, library):
+        bsbs = [make_leaf(make_parallel_dfg(OpType.ADD, n + 1, "x%d" % n),
+                          profile=1, name="X%d" % n) for n in range(3)]
+        state = UrgencyState(bsbs, library=library)
+        original = list(bsbs)
+        prioritize(bsbs, state, set(), RMap())
+        assert bsbs == original

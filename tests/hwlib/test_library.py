@@ -1,0 +1,112 @@
+"""Tests for the resource library."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hwlib.library import ResourceLibrary, default_library
+from repro.hwlib.resources import Resource, single_function
+from repro.ir.ops import OpType
+
+
+class TestDefaultLibrary:
+    def test_covers_all_op_types(self, library):
+        for optype in OpType:
+            assert library.supports(optype)
+
+    def test_resource_for_each_type(self, library):
+        for optype in OpType:
+            resource = library.resource_for(optype)
+            assert resource.executes(optype)
+
+    def test_multiplier_larger_than_adder(self, library):
+        assert (library.get("multiplier").area
+                > library.get("adder").area)
+
+    def test_divider_largest_arithmetic_unit(self, library):
+        assert (library.get("divider").area
+                >= library.get("multiplier").area)
+
+    def test_len_and_iteration(self, library):
+        assert len(library) == len(list(library))
+
+    def test_deterministic_order(self, library):
+        names = [resource.name for resource in library.resources()]
+        assert names == sorted(names)
+
+
+class TestLibraryConstruction:
+    def test_duplicate_name_rejected(self):
+        lib = ResourceLibrary("t")
+        lib.add_single("adder", OpType.ADD, 10.0)
+        with pytest.raises(ResourceError):
+            lib.add_single("adder", OpType.SUB, 10.0)
+
+    def test_unknown_resource_lookup(self):
+        lib = ResourceLibrary("t")
+        with pytest.raises(ResourceError):
+            lib.get("nothing")
+
+    def test_unsupported_type_lookup(self):
+        lib = ResourceLibrary("t")
+        lib.add_single("adder", OpType.ADD, 10.0)
+        with pytest.raises(ResourceError):
+            lib.resource_for(OpType.DIV)
+
+    def test_contains(self):
+        lib = ResourceLibrary("t")
+        lib.add_single("adder", OpType.ADD, 10.0)
+        assert "adder" in lib
+        assert "divider" not in lib
+
+    def test_add_rejects_non_resource(self):
+        lib = ResourceLibrary("t")
+        with pytest.raises(ResourceError):
+            lib.add("adder")
+
+    def test_first_registered_is_default(self):
+        lib = ResourceLibrary("t")
+        lib.add_single("fast-adder", OpType.ADD, 200.0)
+        lib.add_single("slow-adder", OpType.ADD, 60.0, latency=2)
+        assert lib.resource_for(OpType.ADD).name == "fast-adder"
+
+    def test_set_default_overrides(self):
+        lib = ResourceLibrary("t")
+        lib.add_single("fast-adder", OpType.ADD, 200.0)
+        lib.add_single("slow-adder", OpType.ADD, 60.0, latency=2)
+        lib.set_default(OpType.ADD, "slow-adder")
+        assert lib.resource_for(OpType.ADD).name == "slow-adder"
+
+    def test_set_default_requires_capability(self):
+        lib = ResourceLibrary("t")
+        lib.add_single("adder", OpType.ADD, 10.0)
+        with pytest.raises(ResourceError):
+            lib.set_default(OpType.MUL, "adder")
+
+    def test_candidates_for(self):
+        lib = ResourceLibrary("t")
+        lib.add_single("fast-adder", OpType.ADD, 200.0)
+        lib.add_single("slow-adder", OpType.ADD, 60.0, latency=2)
+        names = [r.name for r in lib.candidates_for(OpType.ADD)]
+        assert names == ["fast-adder", "slow-adder"]
+
+    def test_multi_function_unit_registers_all_types(self):
+        lib = ResourceLibrary("t")
+        lib.add(Resource(name="alu",
+                         optypes=frozenset({OpType.ADD, OpType.SUB}),
+                         area=150.0))
+        assert lib.resource_for(OpType.ADD).name == "alu"
+        assert lib.resource_for(OpType.SUB).name == "alu"
+
+    def test_area_of(self):
+        lib = ResourceLibrary("t")
+        lib.add_single("adder", OpType.ADD, 10.0)
+        assert lib.area_of("adder") == 10.0
+
+    def test_optypes_covered(self):
+        lib = ResourceLibrary("t")
+        lib.add_single("adder", OpType.ADD, 10.0)
+        assert lib.optypes_covered() == {OpType.ADD}
+
+    def test_invalid_technology_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceLibrary("t", technology="not-a-technology")

@@ -1,0 +1,47 @@
+"""Tests for functional-unit resources."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hwlib.resources import Resource, single_function
+from repro.ir.ops import OpType
+
+
+class TestResource:
+    def test_single_function(self):
+        adder = single_function("adder", OpType.ADD, area=120.0)
+        assert adder.executes(OpType.ADD)
+        assert not adder.executes(OpType.SUB)
+
+    def test_multi_function(self):
+        alu = Resource(name="alu",
+                       optypes=frozenset({OpType.ADD, OpType.SUB,
+                                          OpType.CMP}),
+                       area=200.0, latency=1)
+        assert alu.executes(OpType.ADD)
+        assert alu.executes(OpType.CMP)
+        assert not alu.executes(OpType.MUL)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ResourceError):
+            Resource(name="", optypes=frozenset({OpType.ADD}), area=1.0)
+
+    def test_no_optypes_rejected(self):
+        with pytest.raises(ResourceError):
+            Resource(name="x", optypes=frozenset(), area=1.0)
+
+    def test_non_optype_rejected(self):
+        with pytest.raises(ResourceError):
+            Resource(name="x", optypes=frozenset({"add"}), area=1.0)
+
+    def test_non_positive_area_rejected(self):
+        with pytest.raises(ResourceError):
+            single_function("x", OpType.ADD, area=0.0)
+
+    def test_latency_below_one_rejected(self):
+        with pytest.raises(ResourceError):
+            single_function("x", OpType.ADD, area=1.0, latency=0)
+
+    def test_str_mentions_ops(self):
+        adder = single_function("adder", OpType.ADD, area=120.0)
+        assert "add" in str(adder)

@@ -1,0 +1,30 @@
+"""Tests for technology descriptions."""
+
+import pytest
+
+from repro.hwlib.technology import DEFAULT_TECHNOLOGY, Technology
+
+
+class TestTechnology:
+    def test_default_validates(self):
+        assert DEFAULT_TECHNOLOGY.validate() is DEFAULT_TECHNOLOGY
+
+    def test_negative_area_rejected(self):
+        tech = Technology(register_area=-1.0)
+        with pytest.raises(ValueError):
+            tech.validate()
+
+    def test_zero_area_rejected(self):
+        tech = Technology(inverter_area=0.0)
+        with pytest.raises(ValueError):
+            tech.validate()
+
+    def test_custom_technology(self):
+        tech = Technology(name="small", register_area=4.0,
+                          and_gate_area=1.0, or_gate_area=1.0,
+                          inverter_area=0.5)
+        assert tech.validate().name == "small"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_TECHNOLOGY.register_area = 1.0

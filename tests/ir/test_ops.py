@@ -1,0 +1,51 @@
+"""Tests for operation types and operation nodes."""
+
+import pytest
+
+from repro.ir.ops import OP_CATEGORY_NAMES, Operation, OpType, make_op
+
+
+class TestOpType:
+    def test_all_types_have_category_names(self):
+        for optype in OpType:
+            assert optype in OP_CATEGORY_NAMES
+
+    def test_value_roundtrip(self):
+        assert OpType("add") is OpType.ADD
+        assert OpType("const") is OpType.CONST
+
+    def test_repr(self):
+        assert repr(OpType.MUL) == "OpType.MUL"
+
+    def test_types_are_distinct(self):
+        assert len({optype.value for optype in OpType}) == len(list(OpType))
+
+
+class TestOperation:
+    def test_make_op_assigns_unique_uids(self):
+        first = make_op(OpType.ADD)
+        second = make_op(OpType.ADD)
+        assert first.uid != second.uid
+
+    def test_operation_is_frozen(self):
+        op = make_op(OpType.ADD)
+        with pytest.raises(AttributeError):
+            op.optype = OpType.SUB
+
+    def test_str_with_label(self):
+        op = make_op(OpType.MUL, label="x")
+        assert "mul" in str(op)
+        assert "x" in str(op)
+
+    def test_str_without_label(self):
+        op = make_op(OpType.DIV)
+        assert "div" in str(op)
+
+    def test_const_value_carried(self):
+        op = make_op(OpType.CONST, value=42)
+        assert op.value == 42
+
+    def test_default_operation(self):
+        op = Operation()
+        assert op.optype is OpType.MOV
+        assert op.uid > 0

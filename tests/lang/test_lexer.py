@@ -1,0 +1,108 @@
+"""Tests for the mini-C lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def types(source):
+    return [token.type for token in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only(self):
+        assert types("  \t\n  ") == []
+
+    def test_numbers(self):
+        tokens = tokenize("0 42 123456")
+        assert [t.text for t in tokens[:-1]] == ["0", "42", "123456"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_hex_number(self):
+        tokens = tokenize("0xFF 0x10")
+        assert [t.text for t in tokens[:-1]] == ["0xFF", "0x10"]
+
+    def test_malformed_hex_rejected(self):
+        with pytest.raises(LexerError):
+            tokenize("0x")
+
+    def test_identifier_starting_with_digit_rejected(self):
+        with pytest.raises(LexerError):
+            tokenize("1abc")
+
+    def test_identifiers(self):
+        tokens = tokenize("foo _bar baz42")
+        assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+
+    def test_keywords(self):
+        assert types("if else while for int input output wait") == [
+            TokenType.IF, TokenType.ELSE, TokenType.WHILE, TokenType.FOR,
+            TokenType.INT, TokenType.INPUT, TokenType.OUTPUT,
+            TokenType.WAIT]
+
+    def test_keyword_prefix_is_identifier(self):
+        tokens = tokenize("iffy whiled")
+        assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+
+
+class TestOperators:
+    def test_multi_char_operators(self):
+        assert types("<< >> <= >= == !=") == [
+            TokenType.LSHIFT, TokenType.RSHIFT, TokenType.LE,
+            TokenType.GE, TokenType.EQ, TokenType.NE]
+
+    def test_single_char_operators(self):
+        assert types("+ - * / % & | ^ ~ < > =") == [
+            TokenType.PLUS, TokenType.MINUS, TokenType.STAR,
+            TokenType.SLASH, TokenType.PERCENT, TokenType.AMP,
+            TokenType.PIPE, TokenType.CARET, TokenType.TILDE,
+            TokenType.LT, TokenType.GT, TokenType.ASSIGN]
+
+    def test_delimiters(self):
+        assert types("( ) { } [ ] ; ,") == [
+            TokenType.LPAREN, TokenType.RPAREN, TokenType.LBRACE,
+            TokenType.RBRACE, TokenType.LBRACKET, TokenType.RBRACKET,
+            TokenType.SEMI, TokenType.COMMA]
+
+    def test_adjacent_shift_vs_comparisons(self):
+        assert types("a<<b") == [TokenType.IDENT, TokenType.LSHIFT,
+                                 TokenType.IDENT]
+        assert types("a< <b") == [TokenType.IDENT, TokenType.LT,
+                                  TokenType.LT, TokenType.IDENT]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a = $b;")
+        assert excinfo.value.column == 5
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert types("a // comment\nb") == [TokenType.IDENT,
+                                            TokenType.IDENT]
+
+    def test_block_comment(self):
+        assert types("a /* x\ny */ b") == [TokenType.IDENT,
+                                           TokenType.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_str_mentions_position(self):
+        token = tokenize("abc")[0]
+        assert "1:1" in str(token)

@@ -1,0 +1,88 @@
+"""Stress tests: deeply nested and larger programs through the pipeline."""
+
+import pytest
+
+from repro.cdfg.builder import compile_source
+from repro.errors import ParseError
+from repro.lang.parser import parse
+
+
+class TestDeepNesting:
+    def test_nested_loops_profile_multiplicatively(self):
+        program = compile_source("""
+        s = 0;
+        for (i = 0; i < 3; i = i + 1) {
+            for (j = 0; j < 4; j = j + 1) {
+                for (k = 0; k < 5; k = k + 1) {
+                    s = s + 1;
+                }
+            }
+        }
+        """)
+        profiles = {bsb.profile_count for bsb in program.bsbs}
+        assert 60 in profiles        # innermost body: 3 * 4 * 5
+        assert 72 in profiles        # innermost test: 3 * 4 * (5 + 1)
+        assert program.final_values["s"] == 60
+
+    def test_deep_expression_nesting(self):
+        depth = 40
+        expr = "1" + " + 1" * depth
+        program = compile_source("x = %s;" % ("(" * 0 + expr))
+        assert program.final_values["x"] == depth + 1
+
+    def test_deeply_parenthesised_expression(self):
+        expr = "(" * 30 + "7" + ")" * 30
+        program = compile_source("x = %s;" % expr)
+        assert program.final_values["x"] == 7
+
+    def test_nested_conditionals(self):
+        program = compile_source("""
+        input a;
+        if (a > 0) {
+            if (a > 10) {
+                if (a > 100) { r = 3; } else { r = 2; }
+            } else { r = 1; }
+        } else { r = 0; }
+        """, inputs={"a": 50})
+        assert program.final_values["r"] == 2
+
+    def test_loop_in_branch_in_loop(self):
+        program = compile_source("""
+        total = 0;
+        for (i = 0; i < 6; i = i + 1) {
+            if ((i & 1) == 0) {
+                for (j = 0; j < i; j = j + 1) {
+                    total = total + 1;
+                }
+            }
+        }
+        """)
+        assert program.final_values["total"] == 0 + 2 + 4
+
+
+class TestLargerPrograms:
+    def test_hundred_statement_block(self):
+        lines = ["x%d = %d;" % (i, i) for i in range(100)]
+        program = compile_source("\n".join(lines))
+        assert len(program.bsbs) == 1
+        assert len(program.bsbs[0].dfg) == 100
+        assert program.final_values["x99"] == 99
+
+    def test_many_small_loops(self):
+        source = []
+        for index in range(12):
+            source.append("s%d = 0;" % index)
+            source.append("for (i = 0; i < %d; i = i + 1) "
+                          "{ s%d = s%d + i; }" % (index + 1, index,
+                                                  index))
+        program = compile_source("\n".join(source))
+        assert program.final_values["s11"] == sum(range(12))
+        # 12 loops: each contributes test + body leaves.
+        assert len(program.bsbs) >= 24
+
+    def test_parse_error_deep_in_file(self):
+        lines = ["x%d = %d;" % (i, i) for i in range(50)]
+        lines.append("y = = 1;")
+        with pytest.raises(ParseError) as excinfo:
+            parse("\n".join(lines))
+        assert excinfo.value.line == 51

@@ -1,0 +1,86 @@
+"""Tests for architecture-parameter effects on the evaluation."""
+
+import pytest
+
+from repro.core.rmap import RMap
+from repro.partition.evaluate import evaluate_allocation
+from repro.partition.model import TargetArchitecture
+from repro.ir.ops import OpType
+
+from tests.conftest import make_leaf, make_parallel_dfg
+
+
+@pytest.fixture
+def app():
+    hot = make_leaf(make_parallel_dfg(OpType.MUL, 2, "hot"),
+                    profile=100, name="hot", reads={"a", "b"},
+                    writes={"c"})
+    cold = make_leaf(make_parallel_dfg(OpType.ADD, 3, "cold"),
+                     profile=10, name="cold", reads={"c"}, writes={"d"})
+    return [hot, cold]
+
+
+ALLOCATION = RMap({"multiplier": 2, "adder": 3})
+
+
+class TestHwCycleRatio:
+    def test_slower_asic_lower_speedup(self, library, app):
+        fast = TargetArchitecture(library=library, total_area=10000.0,
+                                  hw_cycle_ratio=1.0)
+        slow = TargetArchitecture(library=library, total_area=10000.0,
+                                  hw_cycle_ratio=4.0)
+        fast_su = evaluate_allocation(app, ALLOCATION, fast,
+                                      area_quanta=100).speedup
+        slow_su = evaluate_allocation(app, ALLOCATION, slow,
+                                      area_quanta=100).speedup
+        assert slow_su < fast_su
+
+    def test_hopeless_asic_moves_nothing(self, library, app):
+        glacial = TargetArchitecture(library=library, total_area=10000.0,
+                                     hw_cycle_ratio=100.0)
+        evaluation = evaluate_allocation(app, ALLOCATION, glacial,
+                                         area_quanta=100)
+        assert evaluation.partition.hw_names == []
+        assert evaluation.speedup == 0.0
+
+
+class TestCommunicationCost:
+    def test_expensive_interface_lowers_speedup(self, library, app):
+        cheap = TargetArchitecture(library=library, total_area=10000.0,
+                                   comm_cycles_per_word=0.0)
+        pricey = TargetArchitecture(library=library, total_area=10000.0,
+                                    comm_cycles_per_word=40.0)
+        cheap_su = evaluate_allocation(app, ALLOCATION, cheap,
+                                       area_quanta=100).speedup
+        pricey_su = evaluate_allocation(app, ALLOCATION, pricey,
+                                        area_quanta=100).speedup
+        assert pricey_su <= cheap_su
+
+    def test_prohibitive_interface_keeps_all_software(self, library,
+                                                      app):
+        wall = TargetArchitecture(library=library, total_area=10000.0,
+                                  comm_cycles_per_word=10000.0)
+        evaluation = evaluate_allocation(app, ALLOCATION, wall,
+                                         area_quanta=100)
+        assert evaluation.partition.hw_names == []
+
+
+class TestProcessorModel:
+    def test_slower_cpu_raises_speedup(self, library, app):
+        from repro.swmodel.processor import Processor, default_processor
+
+        base = default_processor()
+        slow_cycles = {optype: cycles * 3
+                       for optype, cycles in base.cycle_table.items()}
+        slow_cpu = Processor(name="slow", cycle_table=slow_cycles,
+                             sequential_overhead=4).validate()
+        normal = TargetArchitecture(processor=base, library=library,
+                                    total_area=10000.0)
+        sluggish = TargetArchitecture(processor=slow_cpu,
+                                      library=library,
+                                      total_area=10000.0)
+        normal_su = evaluate_allocation(app, ALLOCATION, normal,
+                                        area_quanta=100).speedup
+        sluggish_su = evaluate_allocation(app, ALLOCATION, sluggish,
+                                          area_quanta=100).speedup
+        assert sluggish_su > normal_su

@@ -1,0 +1,84 @@
+"""Tests for the multi-ASIC extension (future work item 2)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.ir.ops import OpType
+from repro.partition.multi_asic import multi_asic_codesign
+
+from tests.conftest import make_leaf, make_parallel_dfg
+
+
+@pytest.fixture
+def app():
+    """Three hot blocks of different flavours, far apart in the array."""
+    mul_block = make_leaf(make_parallel_dfg(OpType.MUL, 2, "muls"),
+                          profile=200, name="muls",
+                          reads={"a"}, writes={"b"})
+    gap = make_leaf(make_parallel_dfg(OpType.DIV, 1, "gap"),
+                    profile=1, name="gap", reads={"b"}, writes={"c"})
+    add_block = make_leaf(make_parallel_dfg(OpType.ADD, 6, "adds"),
+                          profile=150, name="adds",
+                          reads={"c"}, writes={"d"})
+    return [mul_block, gap, add_block]
+
+
+class TestValidation:
+    def test_empty_asic_list_rejected(self, library, app):
+        with pytest.raises(PartitionError):
+            multi_asic_codesign(app, library, [])
+
+    def test_non_positive_area_rejected(self, library, app):
+        with pytest.raises(PartitionError):
+            multi_asic_codesign(app, library, [1000.0, 0.0])
+
+
+class TestCodesign:
+    def test_single_asic_baseline(self, library, app):
+        result = multi_asic_codesign(app, library, [4000.0])
+        assert len(result.asics) == 1
+        assert result.speedup >= 0.0
+
+    def test_two_asics_beat_one_small(self, library, app):
+        one = multi_asic_codesign(app, library, [3600.0])
+        two = multi_asic_codesign(app, library, [3600.0, 3600.0])
+        assert two.speedup >= one.speedup - 1e-9
+
+    def test_asics_move_disjoint_bsbs(self, library, app):
+        result = multi_asic_codesign(app, library, [3600.0, 3600.0])
+        seen = set()
+        for plan in result.asics:
+            for name in plan.hw_names:
+                assert name not in seen
+                seen.add(name)
+
+    def test_second_asic_targets_remaining_workload(self, library, app):
+        result = multi_asic_codesign(app, library, [3600.0, 3600.0])
+        assert len(result.asics) == 2
+        first, second = result.asics
+        # The first ASIC takes the multiplier block (hottest); the
+        # second allocates for what is left (the adds).
+        if "muls" in first.hw_names:
+            assert second.allocation["multiplier"] == 0
+
+    def test_each_asic_respects_its_area(self, library, app):
+        result = multi_asic_codesign(app, library, [2500.0, 5000.0])
+        for plan in result.asics:
+            assert plan.datapath_area <= plan.total_area + 1e-9
+
+    def test_hybrid_time_consistent(self, library, app):
+        result = multi_asic_codesign(app, library, [3600.0, 3600.0])
+        total_saving = sum(plan.saving for plan in result.asics)
+        assert result.hybrid_time == pytest.approx(
+            result.sw_time_all - total_saving)
+
+    def test_stops_when_nothing_moves(self, library, app):
+        # Ten tiny ASICs: after everything movable has moved (or no
+        # round can move anything), remaining rounds are skipped.
+        result = multi_asic_codesign(app, library, [3600.0] * 10)
+        assert len(result.asics) < 10
+
+    def test_hw_names_aggregated(self, library, app):
+        result = multi_asic_codesign(app, library, [3600.0, 3600.0])
+        names = result.hw_names()
+        assert len(names) == len(set(names))

@@ -1,0 +1,60 @@
+"""Tests for the brute-force reference partitioner and PACE agreement."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.model import BSBCost, TargetArchitecture
+from repro.partition.pace import pace_partition
+from repro.partition.reference import reference_best_saving
+
+
+def cost(name, sw, hw, area, profile=1, reads=(), writes=()):
+    return BSBCost(name=name, profile_count=profile, sw_time=float(sw),
+                   hw_time=None if hw is None else float(hw),
+                   controller_area=float(area),
+                   reads=frozenset(reads), writes=frozenset(writes))
+
+
+@pytest.fixture
+def architecture(library):
+    return TargetArchitecture(library=library, total_area=10**6)
+
+
+class TestReference:
+    def test_empty(self, architecture):
+        assert reference_best_saving([], architecture, 100.0) == 0.0
+
+    def test_single_profitable(self, architecture):
+        costs = [cost("a", 100, 10, 50)]
+        assert reference_best_saving(costs, architecture, 60.0) == \
+            pytest.approx(90.0 - 4.0 * 0)  # no reads/writes: no comm
+
+    def test_area_blocks_move(self, architecture):
+        costs = [cost("a", 100, 10, 50)]
+        assert reference_best_saving(costs, architecture, 40.0) == 0.0
+
+    def test_guard_on_large_instances(self, architecture):
+        costs = [cost("b%d" % i, 10, 1, 1) for i in range(25)]
+        with pytest.raises(PartitionError):
+            reference_best_saving(costs, architecture, 100.0)
+
+
+class TestPaceAgreement:
+    """PACE (with fine quantisation) must match the oracle."""
+
+    @pytest.mark.parametrize("available", [100.0, 250.0, 500.0])
+    def test_agreement_random_instance(self, architecture, available):
+        costs = [
+            cost("a", 900, 90, 80, profile=3, reads={"x"}, writes={"y"}),
+            cost("b", 150, 120, 120, reads={"y"}, writes={"z"}),
+            cost("c", 2000, 60, 90, profile=5, reads={"z"},
+                 writes={"w"}),
+            cost("d", 40, None, 0, reads={"w"}, writes={"v"}),
+            cost("e", 700, 300, 140, profile=2, reads={"v", "y"},
+                 writes={"u"}),
+        ]
+        oracle = reference_best_saving(costs, architecture, available)
+        result = pace_partition(costs, architecture, available,
+                                area_quanta=4000)
+        saving = result.sw_time_all - result.hybrid_time
+        assert saving == pytest.approx(oracle, rel=0.02)

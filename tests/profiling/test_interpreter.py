@@ -1,0 +1,203 @@
+"""Tests for the profiling interpreter."""
+
+import pytest
+
+from repro.cdfg.builder import build_cdfg
+from repro.cdfg.lowering import lower_all_leaves
+from repro.errors import InterpreterError
+from repro.lang.parser import parse
+from repro.profiling.interpreter import c_div, c_mod, profile_cdfg
+
+
+def run(source, inputs=None, max_steps=100000):
+    program_ast = parse(source)
+    cdfg = build_cdfg(program_ast)
+    lower_all_leaves(cdfg)
+    return cdfg, profile_cdfg(cdfg, program_ast, inputs=inputs,
+                              max_steps=max_steps)
+
+
+class TestArithmetic:
+    def test_basic_arithmetic(self):
+        _, result = run("x = 2 + 3 * 4; y = (2 + 3) * 4;")
+        assert result.scalars["x"] == 14
+        assert result.scalars["y"] == 20
+
+    def test_division_truncates_toward_zero(self):
+        _, result = run("a = 7 / 2; b = (0 - 7) / 2; c = 7 / (0 - 2);")
+        assert result.scalars["a"] == 3
+        assert result.scalars["b"] == -3
+        assert result.scalars["c"] == -3
+
+    def test_modulo_sign_of_dividend(self):
+        _, result = run("a = 7 % 3; b = (0 - 7) % 3;")
+        assert result.scalars["a"] == 1
+        assert result.scalars["b"] == -1
+
+    def test_shifts(self):
+        _, result = run("a = 1 << 4; b = 256 >> 3;")
+        assert result.scalars["a"] == 16
+        assert result.scalars["b"] == 32
+
+    def test_bitwise(self):
+        _, result = run("a = 12 & 10; b = 12 | 10; c = 12 ^ 10; d = ~0;")
+        assert result.scalars["a"] == 8
+        assert result.scalars["b"] == 14
+        assert result.scalars["c"] == 6
+        assert result.scalars["d"] == -1
+
+    def test_comparisons_yield_01(self):
+        _, result = run("a = 3 < 4; b = 3 > 4; c = 3 == 3; d = 3 != 3; "
+                        "e = 3 <= 3; f = 3 >= 4;")
+        values = [result.scalars[name] for name in "abcdef"]
+        assert values == [1, 0, 1, 0, 1, 0]
+
+    def test_unary(self):
+        _, result = run("input a; x = -a; y = ~a;", inputs={"a": 5})
+        assert result.scalars["x"] == -5
+        assert result.scalars["y"] == -6
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            run("input a; x = 1 / a;")
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            run("input a; x = 1 % a;")
+
+    def test_shift_count_out_of_range(self):
+        with pytest.raises(InterpreterError):
+            run("input a; x = 1 << (a - 1);")
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        _, result = run("i = 0; s = 0; while (i < 5) "
+                        "{ s = s + i; i = i + 1; }")
+        assert result.scalars["s"] == 10
+
+    def test_for_loop(self):
+        _, result = run("s = 0; for (i = 0; i < 4; i = i + 1) "
+                        "{ s = s + 2; }")
+        assert result.scalars["s"] == 8
+
+    def test_if_taken(self):
+        _, result = run("input a; if (a > 0) { x = 1; } else { x = 2; }",
+                        inputs={"a": 5})
+        assert result.scalars["x"] == 1
+
+    def test_if_not_taken(self):
+        _, result = run("input a; if (a > 0) { x = 1; } else { x = 2; }",
+                        inputs={"a": -5})
+        assert result.scalars["x"] == 2
+
+    def test_if_without_else(self):
+        _, result = run("x = 9; if (x < 0) { x = 0; }")
+        assert result.scalars["x"] == 9
+
+    def test_nested_loops(self):
+        _, result = run("""
+        s = 0;
+        for (i = 0; i < 3; i = i + 1) {
+            for (j = 0; j < 4; j = j + 1) {
+                s = s + 1;
+            }
+        }
+        """)
+        assert result.scalars["s"] == 12
+
+    def test_infinite_loop_guard(self):
+        with pytest.raises(InterpreterError):
+            run("x = 1; while (x > 0) { x = x + 1; }", max_steps=1000)
+
+
+class TestProfileCounts:
+    def test_loop_counts(self):
+        cdfg, result = run(
+            "i = 0; while (i < 5) { i = i + 1; }")
+        leaves = cdfg.leaves()
+        counts = {leaf.name: leaf.exec_count for leaf in leaves}
+        assert counts["B1"] == 1   # init
+        assert counts["B2"] == 6   # test evaluated 6 times
+        assert counts["B3"] == 5   # body 5 times
+
+    def test_branch_counts(self):
+        cdfg, _ = run("""
+        s = 0;
+        for (i = 0; i < 10; i = i + 1) {
+            if (i < 3) { s = s + 1; } else { s = s + 2; }
+        }
+        """)
+        counts = {leaf.name: leaf.exec_count for leaf in cdfg.leaves()}
+        # then-branch 3 times, else-branch 7 times
+        assert sorted(value for name, value in counts.items()
+                      if value in (3, 7)) == [3, 7]
+
+    def test_steps_counted(self):
+        _, result = run("x = 1; y = 2;")
+        assert result.steps == 2
+
+    def test_leaf_counts_in_result(self):
+        cdfg, result = run("x = 1;")
+        leaf = cdfg.leaves()[0]
+        assert result.leaf_counts[leaf.uid] == 1
+
+
+class TestArrays:
+    def test_array_roundtrip(self):
+        _, result = run("int t[4]; t[2] = 7; x = t[2];")
+        assert result.scalars["x"] == 7
+        assert result.arrays["t"] == [0, 0, 7, 0]
+
+    def test_arrays_default_zero(self):
+        _, result = run("int t[3]; x = t[1];")
+        assert result.scalars["x"] == 0
+
+    def test_index_out_of_range(self):
+        with pytest.raises(InterpreterError):
+            run("int t[3]; t[5] = 1;")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(InterpreterError):
+            run("int t[3]; input i; t[i - 1] = 1;")
+
+    def test_undeclared_array_rejected(self):
+        with pytest.raises(InterpreterError):
+            run("x = ghost[0];")
+
+
+class TestInputs:
+    def test_inputs_applied(self):
+        _, result = run("input a, b; x = a * b;", inputs={"a": 6, "b": 7})
+        assert result.scalars["x"] == 42
+        assert result.inputs == {"a": 6, "b": 7}
+
+    def test_missing_inputs_default_zero(self):
+        _, result = run("input a; x = a + 1;")
+        assert result.scalars["x"] == 1
+
+    def test_undeclared_input_rejected(self):
+        with pytest.raises(InterpreterError):
+            run("x = 1;", inputs={"ghost": 1})
+
+    def test_uninitialised_scalars_read_zero(self):
+        _, result = run("x = y + 1;")
+        assert result.scalars["x"] == 1
+
+
+class TestCDivHelpers:
+    def test_c_div_table(self):
+        cases = [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3),
+                 (0, 5, 0)]
+        for left, right, expected in cases:
+            assert c_div(left, right) == expected
+
+    def test_c_mod_identity(self):
+        for left in range(-20, 21):
+            for right in (-7, -3, 1, 2, 9):
+                assert (c_div(left, right) * right
+                        + c_mod(left, right)) == left
+
+    def test_c_div_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            c_div(1, 0)

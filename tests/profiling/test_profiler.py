@@ -1,0 +1,53 @@
+"""Tests for profile analysis helpers."""
+
+import pytest
+
+from repro.cdfg.builder import compile_source
+from repro.profiling.profiler import hotspots, profile_summary
+
+SOURCE = """
+input n;
+output total;
+int i; int total; int t;
+total = 0;
+for (i = 0; i < n; i = i + 1) {
+    t = (i * i * 3) >> 2;
+    total = total + t;
+}
+total = total + 1;
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE, name="hotspot", inputs={"n": 100})
+
+
+class TestHotspots:
+    def test_hottest_first(self, program, processor):
+        spots = hotspots(program, processor)
+        times = [time for _, time, _ in spots]
+        assert times == sorted(times, reverse=True)
+
+    def test_loop_body_dominates(self, program, processor):
+        bsb, _, share = hotspots(program, processor, top=1)[0]
+        # The multiply-heavy loop body executes 100 times.
+        assert bsb.profile_count == 100
+        assert share > 0.5
+
+    def test_shares_sum_below_one(self, program, processor):
+        spots = hotspots(program, processor, top=100)
+        assert sum(share for _, _, share in spots) == pytest.approx(1.0)
+
+    def test_top_limits_results(self, program, processor):
+        assert len(hotspots(program, processor, top=2)) == 2
+
+
+class TestProfileSummary:
+    def test_rows_cover_all_bsbs(self, program):
+        rows = profile_summary(program)
+        assert len(rows) == len(program.bsbs)
+
+    def test_weighted_column(self, program):
+        for name, ops, profile, weighted in profile_summary(program):
+            assert weighted == ops * profile

@@ -1,0 +1,99 @@
+"""Property-based tests for FURO and the allocation algorithm."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsb.bsb import LeafBSB
+from repro.core.allocator import allocate
+from repro.core.furo import UrgencyState, furo
+from repro.core.restrictions import asap_restrictions
+from repro.core.rmap import RMap
+from repro.hwlib.library import default_library
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+
+LIBRARY = default_library()
+
+optypes = st.sampled_from([OpType.ADD, OpType.SUB, OpType.MUL,
+                           OpType.CONST])
+
+
+@st.composite
+def random_bsbs(draw, min_bsbs=1, max_bsbs=4):
+    """A random BSB array of small layered DAGs."""
+    bsb_count = draw(st.integers(min_bsbs, max_bsbs))
+    bsbs = []
+    for index in range(bsb_count):
+        dfg = DFG("g%d" % index)
+        layer_sizes = draw(st.lists(st.integers(1, 3), min_size=1,
+                                    max_size=3))
+        previous_layer = []
+        for size in layer_sizes:
+            layer = [dfg.new_operation(draw(optypes))
+                     for _ in range(size)]
+            for consumer in layer:
+                if previous_layer and draw(st.booleans()):
+                    dfg.add_dependency(previous_layer[0], consumer)
+            previous_layer = layer
+        profile = draw(st.integers(0, 50))
+        bsbs.append(LeafBSB(dfg, profile_count=profile,
+                            name="P%d" % index))
+    return bsbs
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_bsbs())
+def test_furo_non_negative(bsbs):
+    for bsb in bsbs:
+        for value in furo(bsb, library=LIBRARY).values():
+            assert value >= 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_bsbs())
+def test_urgency_never_exceeds_furo(bsbs):
+    state = UrgencyState(bsbs, library=LIBRARY)
+    allocation = RMap({"adder": 2, "multiplier": 1})
+    for bsb in bsbs:
+        for optype in bsb.dfg.op_types():
+            static = state.furo_value(bsb, optype)
+            dynamic = state.urgency(bsb, optype, True, allocation)
+            assert dynamic <= static + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_bsbs(), st.floats(min_value=0.0, max_value=50000.0))
+def test_allocator_never_overspends(bsbs, area):
+    result = allocate(bsbs, LIBRARY, area=area)
+    assert result.datapath_area + result.controller_area <= area + 1e-6
+    assert result.remaining_area >= -1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_bsbs())
+def test_allocator_respects_restrictions(bsbs):
+    result = allocate(bsbs, LIBRARY, area=10**6)
+    restrictions = asap_restrictions(bsbs, LIBRARY)
+    for name, count in result.allocation.items():
+        assert count <= restrictions[name]
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_bsbs())
+def test_allocator_moved_bsbs_covered(bsbs):
+    from repro.core.allocator import required_resources
+
+    result = allocate(bsbs, LIBRARY, area=10**6)
+    by_name = {bsb.name: bsb for bsb in bsbs}
+    for name in result.hw_bsb_names:
+        required = required_resources(by_name[name], LIBRARY)
+        assert result.allocation.covers(required)
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_bsbs())
+def test_allocator_deterministic(bsbs):
+    first = allocate(bsbs, LIBRARY, area=20000.0)
+    second = allocate(bsbs, LIBRARY, area=20000.0)
+    assert first.allocation == second.allocation
+    assert first.hw_bsb_names == second.hw_bsb_names

@@ -1,0 +1,85 @@
+"""Property-based tests for the frontend + interpreter.
+
+The strongest property available: for randomly generated straight-line
+programs, the interpreter must agree with a direct Python evaluation of
+the same expressions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.builder import compile_source
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.profiling.interpreter import c_div, c_mod
+
+VARIABLES = ["v0", "v1", "v2", "v3"]
+
+# Operators whose Python semantics match the mini-C interpreter
+# directly (division/modulo handled separately through c_div/c_mod).
+SAFE_OPS = ["+", "-", "*", "&", "|", "^"]
+
+
+@st.composite
+def straight_line_programs(draw):
+    """A random straight-line program and its Python-evaluated state."""
+    statements = []
+    env = {name: 0 for name in VARIABLES}
+    for _ in range(draw(st.integers(1, 8))):
+        target = draw(st.sampled_from(VARIABLES))
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            value = draw(st.integers(-100, 100))
+            statements.append("%s = %d;" % (target, value))
+            env[target] = value
+        elif kind == 1:
+            left = draw(st.sampled_from(VARIABLES))
+            right = draw(st.sampled_from(VARIABLES))
+            op = draw(st.sampled_from(SAFE_OPS))
+            statements.append("%s = %s %s %s;" % (target, left, op, right))
+            env[target] = eval("%d %s %d" % (env[left], op, env[right]))
+        else:
+            left = draw(st.sampled_from(VARIABLES))
+            divisor = draw(st.integers(1, 9))
+            statements.append("%s = %s / %d;" % (target, left, divisor))
+            env[target] = c_div(env[left], divisor)
+    return "\n".join(statements), env
+
+
+@settings(max_examples=80, deadline=None)
+@given(straight_line_programs())
+def test_interpreter_matches_python(case):
+    source, expected = case
+    program = compile_source(source, name="prop")
+    for name, value in expected.items():
+        assert program.final_values.get(name, 0) == value
+
+
+@settings(max_examples=80, deadline=None)
+@given(straight_line_programs())
+def test_lexer_parser_roundtrip(case):
+    source, _ = case
+    tokens = tokenize(source)
+    assert tokens[-1].type.name == "EOF"
+    program_ast = parse(source)
+    assert len(program_ast.statements) == source.count(";")
+
+
+@settings(max_examples=50, deadline=None)
+@given(straight_line_programs())
+def test_single_leaf_for_straight_line(case):
+    source, _ = case
+    program = compile_source(source, name="prop")
+    assert len(program.bsbs) <= 1  # one block (or none if all folded)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(-10**6, 10**6),
+       st.integers(-10**6, 10**6).filter(lambda value: value != 0))
+def test_cdiv_cmod_consistency(dividend, divisor):
+    quotient = c_div(dividend, divisor)
+    remainder = c_mod(dividend, divisor)
+    assert quotient * divisor + remainder == dividend
+    assert abs(remainder) < abs(divisor)
+    # Truncation toward zero: |q| <= |dividend / divisor|
+    assert abs(quotient) * abs(divisor) <= abs(dividend)

@@ -1,0 +1,54 @@
+"""Property-based tests for the multi-ASIC extension."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.synthetic import synthetic_bsb_array
+from repro.hwlib.library import default_library
+from repro.partition.multi_asic import multi_asic_codesign
+
+LIBRARY = default_library()
+
+
+@st.composite
+def small_workloads(draw):
+    bsb_count = draw(st.integers(1, 6))
+    ops = draw(st.integers(2, 10))
+    seed = draw(st.integers(1, 50))
+    return synthetic_bsb_array(bsb_count, ops, seed=seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_workloads(),
+       st.lists(st.floats(min_value=500.0, max_value=20000.0),
+                min_size=1, max_size=3))
+def test_multi_asic_basic_invariants(bsbs, areas):
+    result = multi_asic_codesign(bsbs, LIBRARY, areas)
+    # Hybrid never slower than all-software.
+    assert result.hybrid_time <= result.sw_time_all + 1e-6
+    assert result.speedup >= 0.0
+    # Plans stay within their chips and never exceed the ASIC list.
+    assert len(result.asics) <= len(areas)
+    for plan in result.asics:
+        assert plan.datapath_area <= plan.total_area + 1e-6
+        assert plan.saving >= -1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_workloads(),
+       st.lists(st.floats(min_value=500.0, max_value=20000.0),
+                min_size=2, max_size=3))
+def test_multi_asic_disjoint_moves(bsbs, areas):
+    result = multi_asic_codesign(bsbs, LIBRARY, areas)
+    names = result.hw_names()
+    assert len(names) == len(set(names))
+    valid = {bsb.name for bsb in bsbs}
+    assert set(names) <= valid
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_workloads(), st.floats(min_value=1000.0, max_value=15000.0))
+def test_extra_asic_never_hurts(bsbs, area):
+    one = multi_asic_codesign(bsbs, LIBRARY, [area])
+    two = multi_asic_codesign(bsbs, LIBRARY, [area, area])
+    assert two.speedup >= one.speedup - 1e-6

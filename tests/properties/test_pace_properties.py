@@ -1,0 +1,83 @@
+"""Property-based tests for the PACE partitioner."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwlib.library import default_library
+from repro.partition.model import BSBCost, TargetArchitecture
+from repro.partition.pace import pace_partition
+
+LIBRARY = default_library()
+ARCH = TargetArchitecture(library=LIBRARY, total_area=10**6)
+
+variables = st.sets(st.sampled_from("abcdefgh"), max_size=3)
+
+
+@st.composite
+def random_costs(draw):
+    count = draw(st.integers(0, 7))
+    costs = []
+    for index in range(count):
+        sw = draw(st.integers(1, 5000))
+        movable = draw(st.booleans())
+        hw = draw(st.integers(1, max(1, sw))) if movable else None
+        costs.append(BSBCost(
+            name="c%d" % index,
+            profile_count=draw(st.integers(1, 50)),
+            sw_time=float(sw),
+            hw_time=None if hw is None else float(hw),
+            controller_area=(float("inf") if hw is None
+                             else float(draw(st.integers(1, 400)))),
+            reads=frozenset(draw(variables)),
+            writes=frozenset(draw(variables)),
+        ))
+    return costs
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_costs(), st.floats(min_value=0.0, max_value=2000.0))
+def test_pace_never_slower_than_all_software(costs, area):
+    result = pace_partition(costs, ARCH, area)
+    assert result.hybrid_time <= result.sw_time_all + 1e-9
+    assert result.speedup >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_costs(), st.floats(min_value=1.0, max_value=2000.0))
+def test_pace_respects_area(costs, area):
+    result = pace_partition(costs, ARCH, area)
+    assert result.controller_area_used <= area + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_costs(), st.floats(min_value=1.0, max_value=2000.0))
+def test_pace_sequences_disjoint_and_ordered(costs, area):
+    result = pace_partition(costs, ARCH, area)
+    previous_end = -1
+    for first, last in result.hw_sequences:
+        assert first > previous_end
+        assert first <= last < len(costs)
+        previous_end = last
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_costs(), st.floats(min_value=1.0, max_value=2000.0))
+def test_pace_never_moves_unmovable(costs, area):
+    result = pace_partition(costs, ARCH, area)
+    unmovable = {cost.name for cost in costs if not cost.movable}
+    assert not (unmovable & set(result.hw_names))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_costs())
+def test_more_area_never_hurts(costs):
+    small = pace_partition(costs, ARCH, 200.0)
+    large = pace_partition(costs, ARCH, 2000.0)
+    assert large.speedup >= small.speedup - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_costs(), st.floats(min_value=1.0, max_value=2000.0))
+def test_hw_fraction_bounds(costs, area):
+    result = pace_partition(costs, ARCH, area)
+    assert 0.0 <= result.hw_fraction <= 1.0 + 1e-9

@@ -1,0 +1,55 @@
+"""Property: PACE's DP matches the brute-force oracle on random inputs.
+
+The strongest correctness statement available for the partitioning
+engine: for every randomly generated small instance, the dynamic
+program (with fine area quantisation) achieves the same optimal saving
+as an independent exponential enumeration.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwlib.library import default_library
+from repro.partition.model import BSBCost, TargetArchitecture
+from repro.partition.pace import pace_partition
+from repro.partition.reference import reference_best_saving
+
+LIBRARY = default_library()
+ARCH = TargetArchitecture(library=LIBRARY, total_area=10**6)
+
+variables = st.sets(st.sampled_from("pqrs"), max_size=2)
+
+
+@st.composite
+def small_instances(draw):
+    count = draw(st.integers(1, 7))
+    costs = []
+    for index in range(count):
+        sw = draw(st.integers(10, 2000))
+        movable = draw(st.integers(0, 4)) > 0  # mostly movable
+        hw = draw(st.integers(1, sw)) if movable else None
+        costs.append(BSBCost(
+            name="r%d" % index,
+            profile_count=draw(st.integers(1, 20)),
+            sw_time=float(sw),
+            hw_time=None if hw is None else float(hw),
+            controller_area=(float("inf") if hw is None
+                             else float(draw(st.integers(10, 300)))),
+            reads=frozenset(draw(variables)),
+            writes=frozenset(draw(variables)),
+        ))
+    available = float(draw(st.integers(0, 900)))
+    return costs, available
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_instances())
+def test_pace_matches_oracle(instance):
+    costs, available = instance
+    oracle = reference_best_saving(costs, ARCH, available)
+    result = pace_partition(costs, ARCH, available, area_quanta=5000)
+    saving = result.sw_time_all - result.hybrid_time
+    # Fine quantisation: within 2% of the true optimum (rounding up
+    # sequence areas can only lose a little, never violate the area).
+    assert saving <= oracle + 1e-6
+    assert saving >= 0.98 * oracle - 1e-6

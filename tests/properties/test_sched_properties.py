@@ -1,0 +1,117 @@
+"""Property-based tests for the scheduling substrate.
+
+Random DAGs are generated as layered graphs; the properties cover the
+fundamental scheduling invariants the allocation algorithm relies on:
+ASAP <= ALAP, mobility >= 1, list schedules between ASAP length and the
+serial bound, and dependency preservation everywhere.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwlib.library import default_library
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+from repro.sched.alap import alap_schedule
+from repro.sched.asap import asap_schedule
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.mobility import asap_alap_intervals, mobility
+
+LIBRARY = default_library()
+
+optypes = st.sampled_from([OpType.ADD, OpType.SUB, OpType.MUL,
+                           OpType.CONST, OpType.SHIFT])
+
+
+@st.composite
+def random_dags(draw):
+    """A random layered DAG with 1-12 operations."""
+    layer_sizes = draw(st.lists(st.integers(1, 4), min_size=1,
+                                max_size=4))
+    dfg = DFG("random")
+    layers = []
+    for size in layer_sizes:
+        layer = [dfg.new_operation(draw(optypes)) for _ in range(size)]
+        layers.append(layer)
+    # Edges only go from earlier to later layers: acyclic by design.
+    for upper_index in range(1, len(layers)):
+        for consumer in layers[upper_index]:
+            candidates = [op for layer in layers[:upper_index]
+                          for op in layer]
+            producer_count = draw(st.integers(0, min(2, len(candidates))))
+            for producer_index in draw(
+                    st.lists(st.integers(0, len(candidates) - 1),
+                             min_size=producer_count,
+                             max_size=producer_count, unique=True)):
+                dfg.add_dependency(candidates[producer_index], consumer)
+    return dfg
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_asap_before_alap(dfg):
+    asap = asap_schedule(dfg, library=LIBRARY)
+    alap = alap_schedule(dfg, library=LIBRARY)
+    for op in dfg.operations():
+        assert asap.start(op) <= alap.start(op)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_mobility_at_least_one(dfg):
+    intervals = asap_alap_intervals(dfg, library=LIBRARY)
+    assert all(mobility(interval) >= 1
+               for interval in intervals.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_asap_alap_same_length(dfg):
+    asap = asap_schedule(dfg, library=LIBRARY)
+    alap = alap_schedule(dfg, library=LIBRARY)
+    assert alap.length == asap.length
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_schedules_respect_dependencies(dfg):
+    asap_schedule(dfg, library=LIBRARY).verify_dependencies()
+    alap_schedule(dfg, library=LIBRARY).verify_dependencies()
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_dags(), st.integers(1, 3))
+def test_list_schedule_bounds(dfg, units):
+    allocation = {LIBRARY.resource_for(optype).name: units
+                  for optype in dfg.op_types()}
+    schedule = list_schedule(dfg, allocation, LIBRARY)
+    schedule.verify_dependencies()
+    asap = asap_schedule(dfg, library=LIBRARY)
+    serial_bound = sum(schedule.latency(op) for op in dfg.operations())
+    assert asap.length <= schedule.length <= max(serial_bound, 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_dags(), st.integers(1, 3))
+def test_list_schedule_capacity(dfg, units):
+    allocation = {LIBRARY.resource_for(optype).name: units
+                  for optype in dfg.op_types()}
+    schedule = list_schedule(dfg, allocation, LIBRARY)
+    for step in range(1, schedule.length + 1):
+        per_resource = {}
+        for op in schedule.operations_active_at(step):
+            name = LIBRARY.resource_for(op.optype).name
+            per_resource[name] = per_resource.get(name, 0) + 1
+        for name, used in per_resource.items():
+            assert used <= allocation[name]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dags())
+def test_more_units_never_hurt(dfg):
+    tight = {LIBRARY.resource_for(optype).name: 1
+             for optype in dfg.op_types()}
+    loose = {name: 4 for name in tight}
+    tight_length = list_schedule(dfg, tight, LIBRARY).length
+    loose_length = list_schedule(dfg, loose, LIBRARY).length
+    assert loose_length <= tight_length

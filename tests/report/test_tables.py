@@ -1,0 +1,33 @@
+"""Tests for table rendering."""
+
+from repro.report.tables import render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_present(self):
+        text = render_table(["Name", "Value"], [["a", 1], ["bb", 22]])
+        assert "Name" in text
+        assert "bb" in text
+        assert "22" in text
+
+    def test_title_prepended(self):
+        text = render_table(["H"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = render_table(["Name", "Val"], [["a", 1], ["long", 100]])
+        lines = text.splitlines()
+        # Numeric column right-aligned: both rows end at same column.
+        assert len(lines[2]) == len(lines[3])
+
+    def test_separator_line(self):
+        text = render_table(["A"], [["x"]])
+        assert "-" in text.splitlines()[1]
+
+    def test_empty_rows(self):
+        text = render_table(["A", "B"], [])
+        assert "A" in text
+
+    def test_wide_cell_stretches_column(self):
+        text = render_table(["A"], [["very-long-cell-content"]])
+        assert "very-long-cell-content" in text

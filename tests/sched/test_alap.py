@@ -1,0 +1,66 @@
+"""Tests for ALAP scheduling."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+from repro.sched.alap import alap_schedule
+from repro.sched.asap import asap_schedule
+
+from tests.conftest import make_chain_dfg, make_diamond_dfg, make_parallel_dfg
+
+
+class TestAlap:
+    def test_empty_dfg(self):
+        schedule = alap_schedule(DFG("empty"))
+        assert schedule.length == 0
+
+    def test_parallel_ops_all_finish_at_deadline(self):
+        dfg = make_parallel_dfg(OpType.ADD, 4)
+        schedule = alap_schedule(dfg, deadline=7)
+        assert all(schedule.finish(op) == 7 for op in dfg.operations())
+
+    def test_default_deadline_is_asap_length(self):
+        dfg = make_diamond_dfg()
+        asap = asap_schedule(dfg)
+        alap = alap_schedule(dfg)
+        assert alap.length == asap.length
+
+    def test_chain_is_rigid(self):
+        dfg = make_chain_dfg([OpType.ADD] * 3)
+        asap = asap_schedule(dfg)
+        alap = alap_schedule(dfg)
+        for op in dfg.operations():
+            assert asap.start(op) == alap.start(op)
+
+    def test_alap_never_before_asap(self, library):
+        dfg = make_diamond_dfg()
+        asap = asap_schedule(dfg, library=library)
+        alap = alap_schedule(dfg, library=library)
+        for op in dfg.operations():
+            assert alap.start(op) >= asap.start(op)
+
+    def test_infeasible_deadline_raises(self):
+        dfg = make_chain_dfg([OpType.ADD] * 5)
+        with pytest.raises(SchedulingError):
+            alap_schedule(dfg, deadline=3)
+
+    def test_dependencies_satisfied(self):
+        dfg = make_diamond_dfg()
+        alap_schedule(dfg, deadline=10).verify_dependencies()
+
+    def test_slack_appears_on_short_branches(self):
+        # chain of 3 adds in parallel with a single add, joined at a sink
+        dfg = DFG("slack")
+        chain_ops = [dfg.new_operation(OpType.ADD) for _ in range(3)]
+        for producer, consumer in zip(chain_ops, chain_ops[1:]):
+            dfg.add_dependency(producer, consumer)
+        lone = dfg.new_operation(OpType.SUB)
+        sink = dfg.new_operation(OpType.ADD)
+        dfg.add_dependency(chain_ops[-1], sink)
+        dfg.add_dependency(lone, sink)
+        asap = asap_schedule(dfg)
+        alap = alap_schedule(dfg)
+        assert asap.start(lone) == 1
+        assert alap.start(lone) == 3  # can slide to just before the sink

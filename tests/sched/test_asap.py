@@ -1,0 +1,65 @@
+"""Tests for ASAP scheduling."""
+
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+from repro.sched.asap import asap_schedule
+
+from tests.conftest import make_chain_dfg, make_diamond_dfg, make_parallel_dfg
+
+
+class TestAsapUnitLatency:
+    def test_empty_dfg(self):
+        schedule = asap_schedule(DFG("empty"))
+        assert schedule.length == 0
+        assert schedule.is_complete()
+
+    def test_single_op_starts_at_one(self):
+        dfg = make_parallel_dfg(OpType.ADD, 1)
+        schedule = asap_schedule(dfg)
+        assert schedule.start(dfg.operations()[0]) == 1
+        assert schedule.length == 1
+
+    def test_parallel_ops_all_start_at_one(self):
+        dfg = make_parallel_dfg(OpType.ADD, 5)
+        schedule = asap_schedule(dfg)
+        assert all(schedule.start(op) == 1 for op in dfg.operations())
+        assert schedule.length == 1
+
+    def test_chain_length_equals_ops(self):
+        dfg = make_chain_dfg([OpType.ADD] * 4)
+        schedule = asap_schedule(dfg)
+        assert schedule.length == 4
+        starts = [schedule.start(op) for op in dfg.topological_order()]
+        assert starts == [1, 2, 3, 4]
+
+    def test_diamond(self):
+        dfg = make_diamond_dfg()
+        schedule = asap_schedule(dfg)
+        left, right, join = dfg.operations()
+        assert schedule.start(left) == 1
+        assert schedule.start(right) == 1
+        assert schedule.start(join) == 2
+
+    def test_dependencies_satisfied(self):
+        dfg = make_diamond_dfg()
+        asap_schedule(dfg).verify_dependencies()
+
+
+class TestAsapWithLatencies:
+    def test_multicycle_producer_delays_consumer(self, library):
+        dfg = make_diamond_dfg()
+        schedule = asap_schedule(dfg, library=library)
+        left, right, join = dfg.operations()
+        # Multiplier latency is 2 in the default library.
+        assert schedule.finish(left) == 2
+        assert schedule.start(join) == 3
+
+    def test_length_accounts_for_latency(self, library):
+        dfg = make_chain_dfg([OpType.MUL, OpType.MUL])
+        schedule = asap_schedule(dfg, library=library)
+        assert schedule.length == 4
+
+    def test_default_latency_override(self):
+        dfg = make_chain_dfg([OpType.ADD, OpType.ADD])
+        schedule = asap_schedule(dfg, default_latency=3)
+        assert schedule.length == 6

@@ -1,0 +1,102 @@
+"""Tests for the heterogeneous (module-selection) list scheduler."""
+
+import pytest
+
+from repro.errors import ResourceError, SchedulingError
+from repro.hwlib.library import ResourceLibrary
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+from repro.sched.hetero_scheduler import hetero_list_schedule
+from repro.sched.list_scheduler import list_schedule
+
+from tests.conftest import make_chain_dfg, make_parallel_dfg
+
+
+@pytest.fixture
+def mixed_library():
+    """Two adder flavours plus a multiplier."""
+    lib = ResourceLibrary("mixed")
+    lib.add_single("fast-adder", OpType.ADD, area=240.0, latency=1)
+    lib.add_single("slow-adder", OpType.ADD, area=80.0, latency=3)
+    lib.add_single("multiplier", OpType.MUL, area=1000.0, latency=2)
+    return lib
+
+
+class TestDispatch:
+    def test_single_fast_unit(self, mixed_library):
+        dfg = make_parallel_dfg(OpType.ADD, 3)
+        schedule = hetero_list_schedule(dfg, {"fast-adder": 1},
+                                        mixed_library)
+        assert schedule.length == 3
+
+    def test_single_slow_unit(self, mixed_library):
+        dfg = make_parallel_dfg(OpType.ADD, 3)
+        schedule = hetero_list_schedule(dfg, {"slow-adder": 1},
+                                        mixed_library)
+        assert schedule.length == 9
+
+    def test_mix_prefers_fast_unit(self, mixed_library):
+        # 2 independent ADDs, one fast + one slow unit: fast takes one
+        # (1 cycle), slow the other (3 cycles) -> length 3; both on the
+        # fast unit would be 2, both slow would be 6.
+        dfg = make_parallel_dfg(OpType.ADD, 2)
+        schedule = hetero_list_schedule(
+            dfg, {"fast-adder": 1, "slow-adder": 1}, mixed_library)
+        assert schedule.length == 3
+        latencies = sorted(schedule.latency(op)
+                           for op in dfg.operations())
+        assert latencies == [1, 3]
+
+    def test_mix_beats_slow_only(self, mixed_library):
+        dfg = make_parallel_dfg(OpType.ADD, 6)
+        slow_only = hetero_list_schedule(dfg, {"slow-adder": 2},
+                                         mixed_library)
+        mixed = hetero_list_schedule(
+            dfg, {"fast-adder": 1, "slow-adder": 2}, mixed_library)
+        assert mixed.length < slow_only.length
+
+    def test_dependencies_respected(self, mixed_library):
+        dfg = make_chain_dfg([OpType.ADD, OpType.MUL, OpType.ADD])
+        schedule = hetero_list_schedule(
+            dfg, {"fast-adder": 1, "slow-adder": 1, "multiplier": 1},
+            mixed_library)
+        schedule.verify_dependencies()
+
+    def test_matches_homogeneous_scheduler(self, library):
+        """With the default single-unit-per-type library, the hetero
+        scheduler must agree with the homogeneous one."""
+        dfg = make_parallel_dfg(OpType.MUL, 4)
+        allocation = {"multiplier": 2}
+        homogeneous = list_schedule(dfg, allocation, library)
+        heterogeneous = hetero_list_schedule(dfg, allocation, library)
+        assert heterogeneous.length == homogeneous.length
+
+
+class TestErrors:
+    def test_uncovered_type_raises(self, mixed_library):
+        dfg = make_parallel_dfg(OpType.MUL, 1)
+        with pytest.raises(SchedulingError):
+            hetero_list_schedule(dfg, {"fast-adder": 1}, mixed_library)
+
+    def test_unsupported_type_raises(self, mixed_library):
+        dfg = make_parallel_dfg(OpType.DIV, 1)
+        with pytest.raises(ResourceError):
+            hetero_list_schedule(dfg, {"fast-adder": 1}, mixed_library)
+
+    def test_unknown_resource_name_raises(self, mixed_library):
+        dfg = make_parallel_dfg(OpType.ADD, 1)
+        with pytest.raises(ResourceError):
+            hetero_list_schedule(dfg, {"ghost": 1}, mixed_library)
+
+    def test_empty_dfg(self, mixed_library):
+        schedule = hetero_list_schedule(DFG("e"), {"fast-adder": 1},
+                                        mixed_library)
+        assert schedule.length == 0
+
+    def test_capacity_never_exceeded(self, mixed_library):
+        dfg = make_parallel_dfg(OpType.ADD, 8)
+        allocation = {"fast-adder": 1, "slow-adder": 2}
+        schedule = hetero_list_schedule(dfg, allocation, mixed_library)
+        for step in range(1, schedule.length + 1):
+            active = schedule.operations_active_at(step)
+            assert len(active) <= 3

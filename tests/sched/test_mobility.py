@@ -1,0 +1,76 @@
+"""Tests for mobility and interval overlap — including the exact
+Figure 5 example of the paper: M(i) = 5 - 1 + 1 = 5, Ovl(i, j) = 3."""
+
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+from repro.sched.mobility import (
+    asap_alap_intervals,
+    interval_overlap,
+    mobility,
+)
+
+from tests.conftest import make_chain_dfg, make_parallel_dfg
+
+
+class TestMobility:
+    def test_mobility_of_fixed_op_is_one(self):
+        assert mobility((3, 3)) == 1
+
+    def test_paper_figure5_mobility(self):
+        # Figure 5: operation i may start at t=1..5 -> M(i) = 5.
+        assert mobility((1, 5)) == 5
+
+
+class TestIntervalOverlap:
+    def test_paper_figure5_overlap(self):
+        # Figure 5: i spans t=1..5, j spans t=3..5 -> Ovl(i, j) = 3.
+        assert interval_overlap((1, 5), (3, 5)) == 3
+
+    def test_disjoint_intervals(self):
+        assert interval_overlap((1, 2), (4, 5)) == 0
+
+    def test_adjacent_intervals(self):
+        assert interval_overlap((1, 3), (3, 5)) == 1
+
+    def test_identical_intervals(self):
+        assert interval_overlap((2, 6), (2, 6)) == 5
+
+    def test_contained_interval(self):
+        assert interval_overlap((1, 9), (4, 5)) == 2
+
+    def test_symmetry(self):
+        assert interval_overlap((1, 4), (2, 8)) == interval_overlap(
+            (2, 8), (1, 4))
+
+
+class TestIntervals:
+    def test_parallel_ops_share_full_interval(self):
+        dfg = make_parallel_dfg(OpType.ADD, 3)
+        intervals = asap_alap_intervals(dfg)
+        assert all(interval == (1, 1) for interval in intervals.values())
+
+    def test_chain_ops_have_unit_mobility(self):
+        dfg = make_chain_dfg([OpType.ADD] * 4)
+        intervals = asap_alap_intervals(dfg)
+        assert all(mobility(interval) == 1
+                   for interval in intervals.values())
+
+    def test_figure5_shape_reconstruction(self):
+        # Build a DFG realising Figure 5: a free operation i (mobility 5)
+        # and an operation j constrained to start at t >= 3 by a
+        # two-op chain, with the overall deadline set by a 5-chain.
+        dfg = DFG("fig5")
+        spine = [dfg.new_operation(OpType.MOV) for _ in range(5)]
+        for producer, consumer in zip(spine, spine[1:]):
+            dfg.add_dependency(producer, consumer)
+        op_i = dfg.new_operation(OpType.MUL, label="i")
+        lead1 = dfg.new_operation(OpType.MOV)
+        lead2 = dfg.new_operation(OpType.MOV)
+        op_j = dfg.new_operation(OpType.MUL, label="j")
+        dfg.add_dependency(lead1, lead2)
+        dfg.add_dependency(lead2, op_j)
+        intervals = asap_alap_intervals(dfg)
+        assert mobility(intervals[op_i.uid]) == 5
+        assert intervals[op_j.uid] == (3, 5)
+        assert interval_overlap(intervals[op_i.uid],
+                                intervals[op_j.uid]) == 3

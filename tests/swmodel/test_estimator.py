@@ -1,0 +1,52 @@
+"""Tests for software time estimation."""
+
+import pytest
+
+from repro.ir.ops import OpType
+from repro.swmodel.estimator import (
+    application_software_time,
+    bsb_software_time,
+)
+
+from tests.conftest import make_diamond_dfg, make_leaf, make_parallel_dfg
+
+
+class TestBsbTime:
+    def test_serial_sum(self, processor):
+        bsb = make_leaf(make_diamond_dfg(), profile=1)
+        expected = (2 * processor.cycles_for(OpType.MUL)
+                    + processor.cycles_for(OpType.ADD))
+        assert bsb_software_time(bsb, processor) == expected
+
+    def test_profile_scales(self, processor):
+        dfg = make_diamond_dfg()
+        once = bsb_software_time(make_leaf(dfg, profile=1), processor)
+        many = bsb_software_time(make_leaf(dfg, profile=13), processor)
+        assert many == 13 * once
+
+    def test_zero_profile_is_free(self, processor):
+        bsb = make_leaf(make_diamond_dfg(), profile=0)
+        assert bsb_software_time(bsb, processor) == 0
+
+    def test_empty_dfg_is_free(self, processor):
+        from repro.ir.dfg import DFG
+        assert bsb_software_time(make_leaf(DFG("e")), processor) == 0
+
+    def test_parallelism_does_not_help_software(self, processor):
+        # Software executes serially: 4 parallel ADDs cost the same as
+        # 4 chained ADDs.
+        from tests.conftest import make_chain_dfg
+        parallel = make_leaf(make_parallel_dfg(OpType.ADD, 4))
+        chained = make_leaf(make_chain_dfg([OpType.ADD] * 4))
+        assert (bsb_software_time(parallel, processor)
+                == bsb_software_time(chained, processor))
+
+
+class TestApplicationTime:
+    def test_sum_over_bsbs(self, processor, two_bsbs):
+        total = application_software_time(two_bsbs, processor)
+        assert total == sum(bsb_software_time(bsb, processor)
+                            for bsb in two_bsbs)
+
+    def test_empty_application(self, processor):
+        assert application_software_time([], processor) == 0

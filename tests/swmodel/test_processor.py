@@ -1,0 +1,44 @@
+"""Tests for the processor model."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ir.ops import OpType
+from repro.swmodel.processor import Processor, default_processor
+
+
+class TestProcessor:
+    def test_default_validates(self):
+        assert default_processor().name == "risc-core"
+
+    def test_all_op_types_costed(self, processor):
+        for optype in OpType:
+            assert processor.cycles_for(optype) >= 1
+
+    def test_overhead_added(self):
+        processor = Processor(cycle_table={OpType.ADD: 1},
+                              sequential_overhead=3)
+        assert processor.cycles_for(OpType.ADD) == 4
+
+    def test_multiply_expensive(self, processor):
+        assert (processor.cycles_for(OpType.MUL)
+                > processor.cycles_for(OpType.ADD))
+
+    def test_divide_most_expensive(self, processor):
+        assert (processor.cycles_for(OpType.DIV)
+                >= processor.cycles_for(OpType.MUL))
+
+    def test_unknown_type_raises(self):
+        processor = Processor(cycle_table={OpType.ADD: 1})
+        with pytest.raises(ReproError):
+            processor.cycles_for(OpType.DIV)
+
+    def test_validate_rejects_zero_cycles(self):
+        processor = Processor(cycle_table={OpType.ADD: 0})
+        with pytest.raises(ReproError):
+            processor.validate()
+
+    def test_validate_rejects_negative_overhead(self):
+        processor = Processor(sequential_overhead=-1)
+        with pytest.raises(ReproError):
+            processor.validate()

@@ -1,0 +1,90 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_args(self):
+        args = build_parser().parse_args(["table1", "--apps", "hal"])
+        assert args.apps == ["hal"]
+
+    def test_fig3_default_app(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.app == "hal"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--app", "doom"])
+
+
+class TestCommands:
+    def test_apps_command(self, capsys):
+        assert main(["apps"]) == 0
+        output = capsys.readouterr().out
+        for name in ("straight", "hal", "man", "eigen"):
+            assert name in output
+
+    def test_allocate_command(self, capsys):
+        assert main(["allocate", "--app", "hal"]) == 0
+        output = capsys.readouterr().out
+        assert "allocation:" in output
+        assert "pseudo partition" in output
+
+    def test_allocate_with_area_override(self, capsys):
+        assert main(["allocate", "--app", "hal", "--area", "3000"]) == 0
+        assert "3000" in capsys.readouterr().out
+
+    def test_fig3_command(self, capsys):
+        assert main(["fig3", "--app", "hal"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_s51_command(self, capsys):
+        assert main(["s51", "--app", "hal"]) == 0
+        assert "5.1" in capsys.readouterr().out
+
+    def test_iterate_command(self, capsys):
+        assert main(["iterate", "--app", "hal"]) == 0
+        assert "Design iteration" in capsys.readouterr().out
+
+    def test_table1_single_app(self, capsys):
+        assert main(["table1", "--apps", "hal", "--budget", "200"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "hal" in output
+
+
+class TestExtensionCommands:
+    def test_multiasic_command(self, capsys):
+        assert main(["multiasic", "--app", "hal", "--chips", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "ASIC 1" in output
+        assert "total speed-up" in output
+
+    def test_multiasic_rejects_zero_chips(self):
+        with pytest.raises(SystemExit):
+            main(["multiasic", "--app", "hal", "--chips", "0"])
+
+    def test_overheads_command(self, capsys):
+        assert main(["overheads", "--app", "hal"]) == 0
+        output = capsys.readouterr().out
+        assert "overheads" in output
+        assert "GE" in output
+
+    def test_export_bsb(self, capsys):
+        assert main(["export", "--app", "hal", "--what", "bsb"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_export_cdfg(self, capsys):
+        assert main(["export", "--app", "hal", "--what", "cdfg"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_export_dfg_picks_hottest(self, capsys):
+        assert main(["export", "--app", "hal", "--what", "dfg"]) == 0
+        output = capsys.readouterr().out
+        assert "hal_B3" in output  # the integration loop body

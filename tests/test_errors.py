@@ -1,0 +1,60 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("LangError", "LexerError", "ParseError",
+                     "SemanticError", "CdfgError", "SchedulingError",
+                     "ResourceError", "AllocationError",
+                     "PartitionError", "InterpreterError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_frontend_errors_grouped(self):
+        for name in ("LexerError", "ParseError", "SemanticError"):
+            assert issubclass(getattr(errors, name), errors.LangError)
+
+    def test_lexer_error_location(self):
+        error = errors.LexerError("bad char", 3, 14)
+        assert error.line == 3
+        assert error.column == 14
+        assert "line 3" in str(error)
+        assert "column 14" in str(error)
+
+    def test_parse_error_with_location(self):
+        error = errors.ParseError("oops", line=7, column=2)
+        assert "line 7" in str(error)
+
+    def test_parse_error_without_location(self):
+        error = errors.ParseError("oops")
+        assert str(error) == "oops"
+
+    def test_catchable_as_single_clause(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SchedulingError("nope")
+
+
+class TestPublicApi:
+    def test_all_names_resolvable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        import repro
+
+        major, minor, patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_docstrings_on_public_callables(self):
+        import repro
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, type):
+                assert obj.__doc__, "missing docstring: %s" % name

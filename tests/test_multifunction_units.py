@@ -1,0 +1,110 @@
+"""Integration tests for multi-function units (ALUs).
+
+The default library is single-function (one unit type per operation
+type, the paper's core assumption), but every layer must also work
+with multi-function units: restrictions, required resources, Alloc(o)
+counting, list scheduling and PACE.
+"""
+
+import pytest
+
+from repro.core.allocator import allocate, required_resources
+from repro.core.furo import allocated_units_for
+from repro.core.restrictions import asap_restrictions
+from repro.core.rmap import RMap
+from repro.hwlib.library import ResourceLibrary
+from repro.hwlib.resources import Resource
+from repro.ir.dfg import DFG
+from repro.ir.ops import OpType
+from repro.partition.evaluate import evaluate_allocation
+from repro.partition.model import TargetArchitecture
+from repro.sched.list_scheduler import list_schedule
+
+from tests.conftest import make_leaf
+
+
+@pytest.fixture
+def alu_library():
+    lib = ResourceLibrary("alu-lib")
+    lib.add(Resource(name="alu",
+                     optypes=frozenset({OpType.ADD, OpType.SUB,
+                                        OpType.CMP}),
+                     area=300.0, latency=1))
+    lib.add_single("multiplier", OpType.MUL, area=1000.0, latency=2)
+    lib.add_single("constgen", OpType.CONST, area=16.0, latency=1)
+    lib.add_single("mover", OpType.MOV, area=20.0, latency=1)
+    return lib
+
+
+@pytest.fixture
+def mixed_dfg():
+    dfg = DFG("alumix")
+    add1 = dfg.new_operation(OpType.ADD)
+    add2 = dfg.new_operation(OpType.ADD)
+    sub = dfg.new_operation(OpType.SUB)
+    mul = dfg.new_operation(OpType.MUL)
+    join = dfg.new_operation(OpType.ADD)
+    dfg.add_dependency(add1, join)
+    dfg.add_dependency(sub, join)
+    dfg.add_dependency(mul, join)
+    return dfg
+
+
+class TestAluScheduling:
+    def test_alu_shared_across_types(self, alu_library, mixed_dfg):
+        # One ALU serialises the ADD/ADD/SUB wavefront.
+        schedule = list_schedule(mixed_dfg,
+                                 {"alu": 1, "multiplier": 1},
+                                 alu_library)
+        schedule.verify_dependencies()
+        # 3 ALU ops in the first wave serialise over 3 steps; the MUL
+        # (2 cycles) overlaps; then the join.
+        assert schedule.length == 4
+
+    def test_more_alus_shorten_schedule(self, alu_library, mixed_dfg):
+        one = list_schedule(mixed_dfg, {"alu": 1, "multiplier": 1},
+                            alu_library)
+        three = list_schedule(mixed_dfg, {"alu": 3, "multiplier": 1},
+                              alu_library)
+        assert three.length < one.length
+
+
+class TestAluAllocation:
+    def test_required_resources_deduplicate(self, alu_library,
+                                            mixed_dfg):
+        bsb = make_leaf(mixed_dfg)
+        required = required_resources(bsb, alu_library)
+        assert required == RMap({"alu": 1, "multiplier": 1})
+
+    def test_restriction_is_max_over_alu_types(self, alu_library,
+                                               mixed_dfg):
+        bsb = make_leaf(mixed_dfg)
+        restrictions = asap_restrictions([bsb], alu_library)
+        # ADD peak is 2 (add1/add2... plus join later), SUB peak 1:
+        # the ALU inherits the largest.
+        assert restrictions["alu"] >= 2
+
+    def test_alloc_counts_alu_for_each_type(self, alu_library):
+        allocation = RMap({"alu": 2})
+        for optype in (OpType.ADD, OpType.SUB, OpType.CMP):
+            assert allocated_units_for(optype, allocation,
+                                       alu_library) == 2
+        assert allocated_units_for(OpType.MUL, allocation,
+                                   alu_library) == 0
+
+    def test_allocator_end_to_end(self, alu_library, mixed_dfg):
+        bsb = make_leaf(mixed_dfg, profile=50, name="alu-app",
+                        reads={"a"}, writes={"b"})
+        result = allocate([bsb], alu_library, area=6000.0)
+        assert result.allocation["alu"] >= 1
+        assert result.allocation["multiplier"] >= 1
+
+    def test_evaluation_end_to_end(self, alu_library, mixed_dfg):
+        bsb = make_leaf(mixed_dfg, profile=50, name="alu-app",
+                        reads={"a"}, writes={"b"})
+        architecture = TargetArchitecture(library=alu_library,
+                                          total_area=6000.0)
+        result = allocate([bsb], alu_library, area=6000.0)
+        evaluation = evaluate_allocation([bsb], result.allocation,
+                                         architecture, area_quanta=100)
+        assert evaluation.speedup > 0.0

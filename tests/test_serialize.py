@@ -1,0 +1,101 @@
+"""Tests for JSON serialisation of allocation artefacts."""
+
+import pytest
+
+from repro.core.allocator import allocate
+from repro.core.rmap import RMap
+from repro.errors import ReproError, ResourceError
+from repro.io.serialize import (
+    allocation_from_dict,
+    allocation_result_to_dict,
+    allocation_to_dict,
+    evaluation_to_dict,
+    load_json,
+    save_json,
+)
+from repro.partition.evaluate import evaluate_allocation
+from repro.partition.model import TargetArchitecture
+
+
+class TestAllocationRoundtrip:
+    def test_roundtrip(self):
+        original = RMap({"adder": 2, "multiplier": 1})
+        data = allocation_to_dict(original)
+        assert allocation_from_dict(data) == original
+
+    def test_accepts_plain_dict(self):
+        data = allocation_to_dict({"adder": 3})
+        assert allocation_from_dict(data) == RMap({"adder": 3})
+
+    def test_empty_allocation(self):
+        data = allocation_to_dict(RMap())
+        assert allocation_from_dict(data).is_empty()
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError):
+            allocation_from_dict({"kind": "soup", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        data = allocation_to_dict(RMap({"adder": 1}))
+        data["version"] = 99
+        with pytest.raises(ReproError):
+            allocation_from_dict(data)
+
+    def test_bad_units_rejected(self):
+        with pytest.raises(ReproError):
+            allocation_from_dict({"kind": "allocation", "version": 1,
+                                  "units": [1, 2]})
+
+    def test_library_validation(self, library):
+        data = allocation_to_dict(RMap({"warp-core": 1}))
+        with pytest.raises(ResourceError):
+            allocation_from_dict(data, library=library)
+
+    def test_library_validation_passes(self, library):
+        data = allocation_to_dict(RMap({"adder": 1}))
+        assert allocation_from_dict(data, library=library)["adder"] == 1
+
+
+class TestResultSerialisation:
+    def test_allocation_result_fields(self, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=20000.0,
+                          keep_trace=True)
+        data = allocation_result_to_dict(result)
+        assert data["kind"] == "allocation-result"
+        assert data["allocation"]["units"] == result.allocation.as_dict()
+        assert data["hw_bsbs"] == result.hw_bsb_names
+        assert data["trace"]
+
+    def test_evaluation_fields(self, library, two_bsbs):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=20000.0)
+        result = allocate(two_bsbs, library, area=20000.0)
+        evaluation = evaluate_allocation(two_bsbs, result.allocation,
+                                         architecture)
+        data = evaluation_to_dict(evaluation)
+        assert data["kind"] == "evaluation"
+        assert data["speedup"] == pytest.approx(evaluation.speedup)
+        assert data["hw_bsbs"] == evaluation.partition.hw_names
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tmp_path, library, two_bsbs):
+        result = allocate(two_bsbs, library, area=20000.0)
+        path = tmp_path / "allocation.json"
+        save_json(allocation_to_dict(result.allocation), path)
+        loaded = allocation_from_dict(load_json(path), library=library)
+        assert loaded == result.allocation
+
+    def test_loaded_allocation_reusable(self, tmp_path, library,
+                                        two_bsbs):
+        """The design-artefact workflow: save, reload, re-evaluate."""
+        architecture = TargetArchitecture(library=library,
+                                          total_area=20000.0)
+        result = allocate(two_bsbs, library, area=20000.0)
+        before = evaluate_allocation(two_bsbs, result.allocation,
+                                     architecture)
+        path = tmp_path / "allocation.json"
+        save_json(allocation_to_dict(result.allocation), path)
+        loaded = allocation_from_dict(load_json(path), library=library)
+        after = evaluate_allocation(two_bsbs, loaded, architecture)
+        assert after.speedup == pytest.approx(before.speedup)

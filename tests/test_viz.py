@@ -1,0 +1,108 @@
+"""Tests for the DOT exporters."""
+
+import pytest
+
+from repro.cdfg.builder import build_cdfg, compile_source
+from repro.cdfg.lowering import lower_all_leaves
+from repro.ir.ops import OpType
+from repro.lang.parser import parse
+from repro.sched.asap import asap_schedule
+from repro.viz.dot import (
+    bsb_hierarchy_to_dot,
+    cdfg_to_dot,
+    dfg_to_dot,
+    schedule_to_dot,
+)
+
+from tests.conftest import make_diamond_dfg
+
+SOURCE = """
+x = 1;
+while (x < 5) { x = x + 1; }
+if (x == 5) { y = 2; } else { y = 3; }
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE, name="viz")
+
+
+class TestDfgDot:
+    def test_nodes_and_edges_present(self):
+        dfg = make_diamond_dfg()
+        dot = dfg_to_dot(dfg)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == 2
+        assert dot.count("[label=") == 3
+
+    def test_op_types_in_labels(self):
+        dfg = make_diamond_dfg()
+        dot = dfg_to_dot(dfg)
+        assert "mul" in dot
+        assert "add" in dot
+
+    def test_label_quoting(self):
+        from repro.ir.dfg import DFG
+        dfg = DFG("q")
+        dfg.new_operation(OpType.ADD, label='tri"cky')
+        dot = dfg_to_dot(dfg)
+        assert r"\"" in dot
+
+    def test_custom_name(self):
+        dot = dfg_to_dot(make_diamond_dfg(), name="mygraph")
+        assert "mygraph" in dot.splitlines()[0]
+
+
+class TestCdfgDot:
+    def test_control_shapes(self, program):
+        dot = cdfg_to_dot(program.cdfg)
+        assert "diamond" in dot   # branch node
+        assert "ellipse" in dot   # loop node
+        assert "[test]" in dot    # test leaves marked
+
+    def test_profile_counts_shown(self, program):
+        dot = cdfg_to_dot(program.cdfg)
+        assert "x5" in dot or "x6" in dot  # loop execution counts
+
+    def test_all_leaves_present(self, program):
+        dot = cdfg_to_dot(program.cdfg)
+        for leaf in program.cdfg.leaves():
+            assert leaf.name in dot
+
+
+class TestBsbDot:
+    def test_hierarchy_rendered(self, program):
+        dot = bsb_hierarchy_to_dot(program.bsb_root)
+        assert "folder" in dot
+        for bsb in program.bsbs:
+            assert bsb.name in dot
+
+    def test_edges_connect_parents(self, program):
+        dot = bsb_hierarchy_to_dot(program.bsb_root)
+        assert "->" in dot
+
+
+class TestScheduleDot:
+    def test_clusters_per_step(self, library):
+        dfg = make_diamond_dfg()
+        schedule = asap_schedule(dfg, library=library)
+        dot = schedule_to_dot(schedule)
+        assert "cluster_t1" in dot
+        assert 't="t=1"' not in dot  # labels quoted properly
+        assert 'label="t=1"' in dot
+
+    def test_latency_in_labels(self, library):
+        dfg = make_diamond_dfg()
+        schedule = asap_schedule(dfg, library=library)
+        dot = schedule_to_dot(schedule)
+        assert "mul (2)" in dot
+
+    def test_empty_schedule(self, library):
+        from repro.ir.dfg import DFG
+        from repro.sched.schedule import Schedule, latency_table
+        dfg = DFG("e")
+        schedule = Schedule(dfg, latency_table(dfg))
+        dot = schedule_to_dot(schedule)
+        assert dot.startswith("digraph")
