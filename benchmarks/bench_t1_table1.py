@@ -30,7 +30,7 @@ _rows = {}
 
 
 @pytest.mark.parametrize("name", application_names())
-def test_table1_row(benchmark, name, programs, library):
+def test_table1_row(benchmark, name, programs, library, engine_session):
     program = programs[name]
     spec = application_spec(name)
 
@@ -39,7 +39,9 @@ def test_table1_row(benchmark, name, programs, library):
         lambda: allocate(program.bsbs, library, area=spec.total_area),
         rounds=3, iterations=1)
 
-    row = table1_row(name, library=library, program=program)
+    # The row itself runs through the engine: evaluation, design
+    # iteration and exhaustive search share one session-wide cache.
+    row = table1_row(name, program=program, session=engine_session)
     _rows[name] = row
 
     assert row.su > 0.0

@@ -9,6 +9,7 @@ measures the runtime of the underlying computation.
 import pytest
 
 from repro.apps.registry import application_names, load_application
+from repro.engine import Session
 from repro.hwlib.library import default_library
 
 
@@ -21,3 +22,9 @@ def library():
 def programs():
     """All four benchmark applications, compiled and profiled once."""
     return {name: load_application(name) for name in application_names()}
+
+
+@pytest.fixture(scope="session")
+def engine_session(library):
+    """One exploration-engine session shared by the whole bench run."""
+    return Session(library=library)

@@ -6,12 +6,16 @@ Demonstrates the designer-facing workflow the paper motivates:
 * reproduce the Figure 3 trade-off (data-path size vs controller room)
   on the Mandelbrot benchmark;
 * apply the reduce-only design iteration that fixes the over-allocated
-  man/eigen data-paths (sections 5 and 5.1).
+  man/eigen data-paths (sections 5 and 5.1);
+* run a scenario grid through the exploration engine, which caches
+  schedules, costs and PACE tables across every point.
 
 Run:  python examples/design_space_exploration.py
 """
 
 from repro import (
+    DesignPoint,
+    Session,
     TargetArchitecture,
     allocate,
     default_library,
@@ -83,6 +87,24 @@ def main():
     print("  final speed-up %.0f%%" % iterated.final_evaluation.speedup)
     print("  (the paper: one iteration on the constant generators took "
           "man from 30% to the best 3081%)")
+
+    # ------------------------------------------------------------------
+    # 4. The exploration engine: a cached scenario grid.
+    # ------------------------------------------------------------------
+    print()
+    session = Session(library=library)
+    points = [DesignPoint(app="man", area=area, policy=policy)
+              for area in (3500.0, 5200.0, 8000.0)
+              for policy in (None, "balanced")]
+    results = session.explore(points)        # workers=N fans out
+    print(render_table(
+        ["Area", "Policy", "HW BSBs", "Speed-up"],
+        [["%.0f" % r.point.area, r.point.policy or "designated",
+          len(r.hw_names), "%.0f%%" % r.speedup] for r in results],
+        title="Engine grid (man) — one shared cache across points"))
+    print()
+    print("engine cache hit rates:")
+    print(session.stats.summary())
 
 
 if __name__ == "__main__":

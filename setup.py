@@ -1,9 +1,10 @@
-"""Setup shim.
+"""Setup shim — all metadata lives in pyproject.toml.
 
-The execution environment has no ``wheel`` package (offline), so PEP 517
-editable installs cannot build; this shim lets ``pip install -e .
---no-build-isolation --no-use-pep517`` (or ``python setup.py develop``)
-perform a legacy editable install.  All metadata lives in pyproject.toml.
+Modern pip installs the package from pyproject.toml alone
+(``pip install -e .``).  This shim is kept for offline environments
+without ``wheel``, where PEP 517 editable builds cannot run:
+``pip install -e . --no-build-isolation --no-use-pep517`` (or the
+legacy ``python setup.py develop``) still performs an editable install.
 """
 
 from setuptools import setup

@@ -72,8 +72,9 @@ from repro.core.module_selection import (
 )
 from repro.partition.multi_asic import multi_asic_codesign
 from repro.hwlib.overheads import OverheadModel
+from repro.engine import DesignPoint, EvalCache, Session, explore_grid
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "OpType",
@@ -117,6 +118,10 @@ __all__ = [
     "BalancedPolicy",
     "multi_asic_codesign",
     "OverheadModel",
+    "DesignPoint",
+    "EvalCache",
+    "Session",
+    "explore_grid",
     "compile_source",
     "compile_vhdl",
     "load_application",

@@ -4,4 +4,9 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+# The guard matters: on spawn-start-method platforms every
+# multiprocessing worker (Session.explore / `sweep --workers N`)
+# re-imports the parent's main module, and an unguarded call would
+# re-run the CLI inside each worker.
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     lycos-repro iterate --app eigen # the man/eigen design-iteration fix
     lycos-repro apps                # benchmark inventory
     lycos-repro allocate --app hal  # just run Algorithm 1, with trace
+    lycos-repro sweep --apps hal man --fractions 0.5 1.0 --workers 4
+                                    # engine-cached design-space sweep
 
 or ``python -m repro <command>``.
 """
@@ -88,6 +90,25 @@ def build_parser():
     export.add_argument("--what", default="bsb",
                         choices=["dfg", "cdfg", "bsb"],
                         help="graph to export (dfg = hottest BSB's DFG)")
+
+    sweep = commands.add_parser(
+        "sweep", help="design-space sweep through the cached "
+                      "exploration engine")
+    sweep.add_argument("--apps", nargs="*", default=None,
+                       choices=application_names(),
+                       help="benchmarks to sweep (default: all four)")
+    sweep.add_argument("--fractions", nargs="*", type=float,
+                       default=[0.5, 0.75, 1.0],
+                       help="ASIC areas as fractions of each app's "
+                            "Table 1 area (default: %(default)s)")
+    sweep.add_argument("--policies", nargs="*", default=["none"],
+                       choices=["none", "fastest", "cheapest", "balanced"],
+                       help="module-selection policies; 'none' is the "
+                            "paper's designated-unit Algorithm 1")
+    sweep.add_argument("--quanta", type=int, default=150,
+                       help="PACE area resolution (default: %(default)s)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default: serial)")
     return parser
 
 
@@ -208,6 +229,53 @@ def cmd_overheads(args):
         print("  %s" % step)
 
 
+def cmd_sweep(args):
+    from repro.engine import DesignPoint, Session
+    from repro.report.tables import render_table
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.quanta < 1:
+        raise SystemExit("--quanta must be >= 1")
+    if not args.fractions:
+        raise SystemExit("--fractions needs at least one value")
+    if any(fraction <= 0 for fraction in args.fractions):
+        raise SystemExit("--fractions must be positive")
+    if not args.policies:
+        raise SystemExit("--policies needs at least one value")
+    session = Session()
+    points = []
+    for app in (args.apps or application_names()):
+        spec = application_spec(app)
+        for fraction in args.fractions:
+            for policy in args.policies:
+                points.append(DesignPoint(
+                    app=app,
+                    area=fraction * spec.total_area,
+                    policy=None if policy == "none" else policy,
+                    quanta=args.quanta))
+    results = session.explore(points, workers=args.workers)
+
+    headers = ["App", "Area", "Policy", "Data-path", "HW BSBs", "Speed-up"]
+    rows = [[result.point.app,
+             "%.0f" % result.point.area,
+             result.point.policy or "designated",
+             "%.0f" % result.datapath_area,
+             len(result.hw_names),
+             "%.0f%%" % result.speedup] for result in results]
+    print(render_table(headers, rows,
+                       title="Design-space sweep (%d points, %d worker%s)"
+                             % (len(points), args.workers,
+                                "" if args.workers == 1 else "s")))
+    best = max(results, key=lambda result: result.speedup)
+    print("\nbest point: %s area %.0f policy %s -> SU %.0f%%"
+          % (best.point.app, best.point.area,
+             best.point.policy or "designated", best.speedup))
+    if args.workers == 1:
+        print("\nengine cache:")
+        print(session.stats.summary())
+
+
 def cmd_export(args):
     from repro.apps.registry import load_application
     from repro.swmodel.estimator import bsb_software_time
@@ -237,6 +305,7 @@ _COMMANDS = {
     "multiasic": cmd_multiasic,
     "overheads": cmd_overheads,
     "export": cmd_export,
+    "sweep": cmd_sweep,
 }
 
 

@@ -24,6 +24,7 @@ from repro.core.furo import UrgencyState
 from repro.core.priority import prioritize
 from repro.core.restrictions import asap_restrictions
 from repro.core.rmap import RMap
+from repro.engine.cache import EvalCache
 from repro.errors import AllocationError
 
 
@@ -100,8 +101,55 @@ def most_urgent_resource(bsb, state, allocation, library):
     return library.resource_for(optype)
 
 
+def urgency_state(bsbs, library, cache=None):
+    """The (immutable) :class:`UrgencyState` of a BSB array, memoised.
+
+    The FURO preprocessing is the allocator's expensive one-time step;
+    an :class:`~repro.engine.cache.EvalCache` reuses it across the many
+    Algorithm 1 runs a design-space sweep performs.
+    """
+    if not isinstance(cache, EvalCache):
+        return UrgencyState(bsbs, library=library, cache=cache)
+    key = (tuple(bsb.uid for bsb in bsbs), cache.pin(library))
+    state = cache.urgency.get(key)
+    if state is None:
+        cache.stats.miss("urgency")
+        state = UrgencyState(bsbs, library=library, cache=cache)
+        cache.urgency[key] = state
+    else:
+        cache.stats.hit("urgency")
+    return state
+
+
+def cached_restrictions(bsbs, library, cache=None):
+    """Memoised :func:`asap_restrictions` of a BSB array."""
+    if not isinstance(cache, EvalCache):
+        return asap_restrictions(bsbs, library)
+    key = (tuple(bsb.uid for bsb in bsbs), cache.pin(library))
+    restrictions = cache.restrictions.get(key)
+    if restrictions is None:
+        cache.stats.miss("restrictions")
+        restrictions = asap_restrictions(bsbs, library)
+        cache.restrictions[key] = restrictions
+    else:
+        cache.stats.hit("restrictions")
+    return restrictions
+
+
+def _estimated_eca(bsb, library, technology, cache=None):
+    """Memoised optimistic controller-area estimate of one BSB."""
+    if not isinstance(cache, EvalCache):
+        return estimated_controller_area(bsb.dfg, library=library,
+                                         technology=technology)
+    key = (bsb.uid, cache.pin(library), cache.pin(technology))
+    if key not in cache.eca:
+        cache.eca[key] = estimated_controller_area(
+            bsb.dfg, library=library, technology=technology)
+    return cache.eca[key]
+
+
 def allocate(bsbs, library, area, restrictions=None, technology=None,
-             keep_trace=False):
+             keep_trace=False, cache=None):
     """Run Algorithm 1 and return an :class:`AllocationResult`.
 
     Args:
@@ -112,6 +160,8 @@ def allocate(bsbs, library, area, restrictions=None, technology=None,
             the ASAP-parallelism restrictions of section 4.3.
         technology: Gate areas for the ECA; defaults to the library's.
         keep_trace: Record an :class:`AllocationEvent` per change.
+        cache: Optional :class:`~repro.engine.cache.EvalCache` reusing
+            FURO urgencies, ECA estimates and restrictions across runs.
     """
     bsbs = list(bsbs)
     if area < 0:
@@ -119,14 +169,14 @@ def allocate(bsbs, library, area, restrictions=None, technology=None,
     if technology is None:
         technology = library.technology
     if restrictions is None:
-        restrictions = asap_restrictions(bsbs, library)
+        restrictions = cached_restrictions(bsbs, library, cache=cache)
     else:
         restrictions = RMap._coerce(restrictions)
 
     started = time.perf_counter()
-    state = UrgencyState(bsbs, library=library)
-    eca_of = {bsb.uid: estimated_controller_area(
-        bsb.dfg, library=library, technology=technology) for bsb in bsbs}
+    state = urgency_state(bsbs, library, cache=cache)
+    eca_of = {bsb.uid: _estimated_eca(bsb, library, technology, cache=cache)
+              for bsb in bsbs}
 
     allocation = RMap()
     remaining = float(area)

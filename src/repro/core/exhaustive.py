@@ -63,8 +63,9 @@ def enumerate_allocations(bsbs, library, restrictions=None, stride=1):
     for index, counts in enumerate(itertools.product(*ranges)):
         if index % stride:
             continue
-        yield RMap({name: count
-                    for name, count in zip(names, counts) if count})
+        yield RMap._unchecked({name: count
+                               for name, count in zip(names, counts)
+                               if count})
 
 
 def sample_allocations(bsbs, library, count, restrictions=None, seed=1998):
@@ -79,9 +80,10 @@ def sample_allocations(bsbs, library, count, restrictions=None, seed=1998):
                                      restrictions=restrictions)
     generator = random.Random(seed)
     for _ in range(count):
-        yield RMap({name: value for name, value in
-                    ((name, generator.randrange(len(counts)))
-                     for name, counts in zip(names, ranges)) if value})
+        yield RMap._unchecked({name: value for name, value in
+                               ((name, generator.randrange(len(counts)))
+                                for name, counts in zip(names, ranges))
+                               if value})
 
 
 @dataclass
@@ -107,7 +109,7 @@ class ExhaustiveResult:
 
 def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
                                max_evaluations=None, area_quanta=200,
-                               keep_history=False):
+                               keep_history=False, session=None):
     """Search the allocation space for the best-speed-up allocation.
 
     When the space exceeds ``max_evaluations``, that many pseudo-random
@@ -115,8 +117,22 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
     ``sampled`` — matching the paper's treatment of eigen, where the
     "best" allocation came from numerous experiments rather than full
     enumeration).
+
+    Every candidate is evaluated through an engine
+    :class:`~repro.engine.session.Session` (a private one when none is
+    passed), whose cache collapses the thousands of candidate
+    allocations onto the few distinct schedules, cost arrays and PACE
+    sequence tables they actually induce.  A shared session lets the
+    search reuse work done by earlier evaluations of the same BSBs —
+    and vice versa.
     """
+    if session is None:
+        from repro.engine.session import Session
+
+        session = Session(library=architecture.library)
     library = architecture.library
+    if restrictions is None:
+        restrictions = session.restrictions(bsbs, library=library)
     total = space_size(bsbs, library, restrictions=restrictions)
     sampled = (max_evaluations is not None and total > max_evaluations)
     if sampled:
@@ -126,17 +142,24 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
         candidates = enumerate_allocations(bsbs, library,
                                            restrictions=restrictions)
 
-    cache = {}
+    space_names, _ = allocation_space(bsbs, library,
+                                      restrictions=restrictions)
+    unit_areas = {name: library.area_of(name) for name in space_names}
     best_eval = None
     best_allocation = None
     evaluations = 0
     history = []
     for allocation in candidates:
-        if allocation.area(library) > architecture.total_area:
+        if allocation.area_from(unit_areas) > architecture.total_area:
             continue
+        # remember=False: each candidate is visited exactly once, so
+        # storing one whole evaluation per candidate would grow the
+        # session cache linearly for ~zero hits; schedules, cost arrays
+        # and sequence tables still collapse across candidates.
         evaluation = evaluate_allocation(bsbs, allocation, architecture,
                                          area_quanta=area_quanta,
-                                         cache=cache)
+                                         cache=session.cache,
+                                         remember=False)
         evaluations += 1
         if keep_history:
             history.append((allocation, evaluation.speedup))

@@ -25,6 +25,7 @@ accumulate (Example 2).
 import itertools
 
 from repro.core.rmap import RMap
+from repro.engine.cache import EvalCache
 from repro.sched.mobility import (
     asap_alap_intervals,
     interval_overlap,
@@ -32,15 +33,28 @@ from repro.sched.mobility import (
 )
 
 
-def furo(bsb, library=None):
+def furo(bsb, library=None, cache=None):
     """FURO values of one BSB: mapping op type -> FURO(o, B).
 
     The computation is the paper's one-time L*k^2 preprocessing step
     (section 4.4); callers should cache the result, which
-    :class:`UrgencyState` does for whole BSB arrays.
+    :class:`UrgencyState` does for whole BSB arrays and an engine
+    :class:`~repro.engine.cache.EvalCache` does across them.
     """
+    engine_cache = cache if isinstance(cache, EvalCache) else None
+    if engine_cache is not None:
+        key = (bsb.uid, engine_cache.pin(library))
+        values = engine_cache.furo.get(key)
+        if values is not None:
+            engine_cache.stats.hit("furo")
+            return values
+        engine_cache.stats.miss("furo")
     dfg = bsb.dfg
-    intervals = asap_alap_intervals(dfg, library=library)
+    intervals = asap_alap_intervals(
+        dfg, library=library,
+        cache=None if engine_cache is None else engine_cache.intervals,
+        cache_key=None if engine_cache is None
+        else (bsb.uid, engine_cache.pin(library)))
     values = {}
     for optype in dfg.op_types():
         ops = dfg.operations_of_type(optype)
@@ -61,6 +75,8 @@ def furo(bsb, library=None):
         # Definition 2 sums over ordered pairs; combinations() walked the
         # unordered ones, hence the factor two.
         values[optype] = bsb.profile_count * 2.0 * total
+    if engine_cache is not None:
+        engine_cache.furo[key] = values
     return values
 
 
@@ -80,10 +96,10 @@ class UrgencyState:
     state object itself stays immutable.
     """
 
-    def __init__(self, bsbs, library=None):
+    def __init__(self, bsbs, library=None, cache=None):
         self.bsbs = list(bsbs)
         self.library = library
-        self._furo = {bsb.uid: furo(bsb, library=library)
+        self._furo = {bsb.uid: furo(bsb, library=library, cache=cache)
                       for bsb in self.bsbs}
 
     def furo_value(self, bsb, optype):

@@ -57,7 +57,7 @@ class IterationResult:
 
 
 def design_iteration(bsbs, allocation, architecture, max_steps=None,
-                     area_quanta=400, cache=None, overhead_model=None):
+                     area_quanta=400, session=None, overhead_model=None):
     """Run the reduce-only design-iteration loop.
 
     Args:
@@ -67,12 +67,20 @@ def design_iteration(bsbs, allocation, architecture, max_steps=None,
         max_steps: Optional cap on accepted decrements (the paper used a
             *single* design iteration; pass 1 to reproduce that).
         area_quanta: PACE area resolution.
-        cache: Optional shared schedule-length cache.
+        session: Optional engine
+            :class:`~repro.engine.session.Session` whose cache carries
+            schedules, cost arrays and whole evaluations across calls (a
+            private one is created otherwise).  The loop re-examines
+            each candidate decrement every round, so the evaluation memo
+            makes all rounds after the first nearly free.
         overhead_model: Optional interconnect/storage model, charged by
             every evaluation (the future-work extension's ablation).
     """
-    if cache is None:
-        cache = {}
+    if session is None:
+        from repro.engine.session import Session
+
+        session = Session(library=architecture.library)
+    cache = session.cache
     allocation = RMap._coerce(allocation)
     current_eval = evaluate_allocation(bsbs, allocation, architecture,
                                        area_quanta=area_quanta, cache=cache,

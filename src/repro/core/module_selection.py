@@ -22,9 +22,13 @@ Hardware times under mixed allocations come from
 import time
 from dataclasses import dataclass
 
-from repro.core.allocator import AllocationEvent, AllocationResult
-from repro.core.eca import estimated_controller_area
-from repro.core.furo import UrgencyState, allocated_units_for
+from repro.core.allocator import (
+    AllocationEvent,
+    AllocationResult,
+    _estimated_eca,
+    urgency_state,
+)
+from repro.core.furo import allocated_units_for
 from repro.core.priority import prioritize
 from repro.core.restrictions import asap_type_parallelism
 from repro.core.rmap import RMap
@@ -140,12 +144,14 @@ def _required_with_selection(bsb, allocation, library, policy,
 
 def allocate_with_selection(bsbs, library, area, policy=None,
                             restrictions=None, technology=None,
-                            keep_trace=False):
+                            keep_trace=False, cache=None):
     """Algorithm 1 with module selection (the future-work extension).
 
     Same control structure as :func:`repro.core.allocator.allocate`;
     the differences are confined to how resources are picked (the
     ``policy``) and how restrictions are checked (per operation type).
+    ``cache`` is an optional :class:`~repro.engine.cache.EvalCache`
+    reusing FURO urgencies and ECA estimates across runs.
     """
     bsbs = list(bsbs)
     if area < 0:
@@ -157,9 +163,9 @@ def allocate_with_selection(bsbs, library, area, policy=None,
         restrictions = selection_restrictions(bsbs, library)
 
     started = time.perf_counter()
-    state = UrgencyState(bsbs, library=library)
-    eca_of = {bsb.uid: estimated_controller_area(
-        bsb.dfg, library=library, technology=technology) for bsb in bsbs}
+    state = urgency_state(bsbs, library, cache=cache)
+    eca_of = {bsb.uid: _estimated_eca(bsb, library, technology, cache=cache)
+              for bsb in bsbs}
 
     allocation = RMap()
     remaining = float(area)

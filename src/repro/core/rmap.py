@@ -123,6 +123,28 @@ class RMap:
         return sum(library.area_of(name) * count
                    for name, count in self._counts.items())
 
+    def area_from(self, unit_areas):
+        """Total area using a precomputed {name: unit area} mapping.
+
+        Sums in the same (insertion) order as :meth:`area`, so callers
+        iterating a search space get bit-identical totals without the
+        per-name library dispatch.
+        """
+        return sum(unit_areas[name] * count
+                   for name, count in self._counts.items())
+
+    @classmethod
+    def _unchecked(cls, counts):
+        """Wrap a trusted {name: positive int} dict without validation.
+
+        Internal fast path for enumerators that construct millions of
+        maps from already-validated names and counts; the dict is
+        adopted, not copied.
+        """
+        rmap = cls.__new__(cls)
+        rmap._counts = counts
+        return rmap
+
     def copy(self):
         return RMap(self._counts)
 

@@ -1,0 +1,80 @@
+"""Immutable coordinates of one point in the design space.
+
+A :class:`DesignPoint` names everything that distinguishes one
+exploration run from another — the application, the ASIC area, the
+module-selection policy and the PACE resolution — and nothing else, so
+two equal points always denote the same pipeline computation.  That is
+what makes points usable as cache keys and safe to ship to worker
+processes.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: Module-selection policies understood by the engine (None means the
+#: paper's designated-unit Algorithm 1).
+POLICY_NAMES = ("fastest", "cheapest", "balanced")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One point of the exploration grid.
+
+    Attributes:
+        app: Benchmark name from the application registry
+            (``straight``, ``hal``, ``man``, ``eigen``).
+        area: Total ASIC area in gate equivalents; ``None`` uses the
+            registry spec's Table 1 area.
+        policy: Module-selection policy name (one of
+            :data:`POLICY_NAMES`) or ``None`` for the designated-unit
+            Algorithm 1 of the paper.
+        quanta: PACE area-axis resolution.
+        comm_cycles_per_word: HW/SW interface cost in CPU cycles.
+    """
+
+    app: str
+    area: float = None
+    policy: str = None
+    quanta: int = 150
+    comm_cycles_per_word: float = 4.0
+
+    def __post_init__(self):
+        if not isinstance(self.app, str) or not self.app:
+            raise ReproError("DesignPoint.app must be a benchmark name, "
+                             "got %r" % (self.app,))
+        if self.area is not None and self.area <= 0:
+            raise ReproError("DesignPoint.area must be positive, got %r"
+                             % (self.area,))
+        if self.policy is not None and self.policy not in POLICY_NAMES:
+            raise ReproError(
+                "DesignPoint.policy must be one of %s or None, got %r"
+                % (", ".join(POLICY_NAMES), self.policy))
+        if self.quanta < 1:
+            raise ReproError("DesignPoint.quanta must be >= 1, got %r"
+                             % (self.quanta,))
+        if self.comm_cycles_per_word < 0:
+            raise ReproError("DesignPoint.comm_cycles_per_word must be "
+                             ">= 0, got %r" % (self.comm_cycles_per_word,))
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of exploring one :class:`DesignPoint`.
+
+    Attributes:
+        point: The explored point.
+        allocation: Allocation the point's allocator produced.
+        speedup: PACE speed-up percentage of that allocation.
+        datapath_area: Data-path area the allocation consumes.
+        hw_names: BSBs the partition moved to hardware.
+        evaluation: The full
+            :class:`~repro.partition.evaluate.AllocationEvaluation`.
+    """
+
+    point: DesignPoint
+    allocation: object
+    speedup: float
+    datapath_area: float
+    hw_names: tuple = field(default_factory=tuple)
+    evaluation: object = None

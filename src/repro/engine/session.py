@@ -1,0 +1,258 @@
+"""The exploration engine: one cached pipeline for every driver.
+
+A :class:`Session` owns the memo store (:class:`~repro.engine.cache
+.EvalCache`) that every stage of the compile -> allocate -> PACE ->
+evaluate chain shares, plus program and Algorithm 1 memos of its own.
+All experiment drivers — Table 1, the Figure 3 sweep, the design
+iteration, the exhaustive search, the multi-ASIC co-design and the CLI
+``sweep`` — run through a session, so work done by one stage (a BSB's
+list schedule, a cost array, a PACE sequence table) is never redone by
+another.
+
+The batch API fans a list of immutable
+:class:`~repro.engine.design_point.DesignPoint` instances out over
+``multiprocessing`` workers; each worker holds one long-lived session
+of its own, so the cache is shared across all points a worker
+evaluates::
+
+    session = Session()
+    results = session.explore_grid(apps=["hal", "man"],
+                                   areas=[4000.0, 8000.0, None],
+                                   policies=[None, "balanced"],
+                                   workers=4)
+"""
+
+import multiprocessing
+
+from repro.apps.registry import application_spec, load_application
+from repro.core.allocator import allocate, cached_restrictions
+from repro.core.rmap import RMap
+from repro.core.module_selection import (
+    BalancedPolicy,
+    CheapestPolicy,
+    FastestPolicy,
+    allocate_with_selection,
+)
+from repro.engine.cache import EvalCache
+from repro.engine.design_point import DesignPoint, PointResult
+from repro.errors import ReproError
+from repro.hwlib.library import default_library
+from repro.partition.evaluate import evaluate_allocation
+from repro.partition.model import TargetArchitecture
+
+_POLICIES = {
+    "fastest": FastestPolicy,
+    "cheapest": CheapestPolicy,
+    "balanced": BalancedPolicy,
+}
+
+
+class Session:
+    """Session-scoped design-space exploration over a fixed library.
+
+    Attributes:
+        library: The resource library every stage runs against.
+        cache: The shared :class:`~repro.engine.cache.EvalCache`.
+    """
+
+    def __init__(self, library=None):
+        self.library = library if library is not None else default_library()
+        self.cache = EvalCache()
+        self._programs = {}
+
+    # ------------------------------------------------------------------
+    # Stage accessors (each memoised by its true inputs)
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """Hit/miss accounting across every cached stage."""
+        return self.cache.stats
+
+    def program(self, app):
+        """The compiled, profiled benchmark program (compiled once)."""
+        program = self._programs.get(app)
+        if program is None:
+            self.stats.miss("program")
+            program = load_application(app)
+            self._programs[app] = program
+        else:
+            self.stats.hit("program")
+        return program
+
+    def architecture(self, point):
+        """The :class:`TargetArchitecture` a :class:`DesignPoint` names."""
+        area = point.area
+        if area is None:
+            area = application_spec(point.app).total_area
+        return TargetArchitecture(
+            library=self.library, total_area=area,
+            comm_cycles_per_word=point.comm_cycles_per_word)
+
+    def restrictions(self, bsbs, library=None):
+        """Memoised ASAP-parallelism restrictions of a BSB array."""
+        library = library if library is not None else self.library
+        return cached_restrictions(bsbs, library, cache=self.cache)
+
+    def allocate(self, bsbs, area, policy=None, restrictions=None,
+                 library=None):
+        """Memoised Algorithm 1 (or module-selection variant) run.
+
+        ``policy`` is a policy *name* (see
+        :data:`~repro.engine.design_point.POLICY_NAMES`) or ``None``
+        for the paper's designated-unit algorithm.
+        """
+        library = library if library is not None else self.library
+        if restrictions is not None:
+            if policy is not None:
+                # Module selection caps per *type*, not per resource —
+                # an RMap of per-resource caps does not apply there.
+                raise ReproError("restrictions are only supported for "
+                                 "the designated-unit allocator "
+                                 "(policy=None)")
+            restrictions = RMap._coerce(restrictions)
+        # Snapshot the restrictions into the key: a dict is unhashable
+        # and an RMap could be mutated by the caller after the call.
+        restrictions_key = (None if restrictions is None
+                            else tuple(restrictions.items()))
+        key = (tuple(bsb.uid for bsb in bsbs), float(area), policy,
+               restrictions_key, self.cache.pin(library))
+        result = self.cache.allocs.get(key)
+        if result is not None:
+            self.stats.hit("alloc")
+            return result
+        self.stats.miss("alloc")
+        if policy is None:
+            result = allocate(bsbs, library, area=area,
+                              restrictions=restrictions, cache=self.cache)
+        else:
+            try:
+                policy_class = _POLICIES[policy]
+            except KeyError:
+                raise ReproError(
+                    "unknown selection policy %r (expected one of %s)"
+                    % (policy, ", ".join(sorted(_POLICIES)))) from None
+            result = allocate_with_selection(
+                bsbs, library, area=area, policy=policy_class(),
+                cache=self.cache)
+        self.cache.allocs[key] = result
+        return result
+
+    def evaluate(self, bsbs, allocation, architecture, area_quanta=400,
+                 overhead_model=None):
+        """Memoised PACE evaluation of one allocation."""
+        return evaluate_allocation(bsbs, allocation, architecture,
+                                   area_quanta=area_quanta,
+                                   cache=self.cache,
+                                   overhead_model=overhead_model)
+
+    def iterate(self, bsbs, allocation, architecture, max_steps=None,
+                area_quanta=400, overhead_model=None):
+        """The reduce-only design iteration, on this session's cache."""
+        from repro.core.iteration import design_iteration
+
+        return design_iteration(bsbs, allocation, architecture,
+                                max_steps=max_steps,
+                                area_quanta=area_quanta, session=self,
+                                overhead_model=overhead_model)
+
+    def exhaustive(self, bsbs, architecture, restrictions=None,
+                   max_evaluations=None, area_quanta=200,
+                   keep_history=False):
+        """The exhaustive allocation search, on this session's cache."""
+        from repro.core.exhaustive import exhaustive_best_allocation
+
+        return exhaustive_best_allocation(
+            bsbs, architecture, restrictions=restrictions,
+            max_evaluations=max_evaluations, area_quanta=area_quanta,
+            keep_history=keep_history, session=self)
+
+    # ------------------------------------------------------------------
+    # The batch API
+    # ------------------------------------------------------------------
+    def evaluate_point(self, point):
+        """Run the full pipeline for one :class:`DesignPoint`."""
+        program = self.program(point.app)
+        architecture = self.architecture(point)
+        result = self.allocate(program.bsbs, architecture.total_area,
+                               policy=point.policy)
+        evaluation = self.evaluate(program.bsbs, result.allocation,
+                                   architecture,
+                                   area_quanta=point.quanta)
+        return PointResult(
+            point=point,
+            allocation=evaluation.allocation,
+            speedup=evaluation.speedup,
+            datapath_area=evaluation.datapath_area,
+            hw_names=tuple(evaluation.partition.hw_names),
+            evaluation=evaluation,
+        )
+
+    def explore(self, points, workers=1):
+        """Evaluate many design points, optionally across processes.
+
+        Results come back in input order.  With ``workers`` > 1 the
+        points fan out over a ``multiprocessing`` pool; every worker
+        process holds one session whose cache is shared across all the
+        points that worker receives (per-process caches — the workers
+        do not share memory with each other or with this session).
+        """
+        points = [self._coerce_point(point) for point in points]
+        if workers <= 1 or len(points) <= 1:
+            return [self.evaluate_point(point) for point in points]
+        processes = min(workers, len(points))
+        chunksize = max(1, (len(points) + processes - 1) // processes)
+        with multiprocessing.Pool(processes=processes,
+                                  initializer=_worker_init,
+                                  initargs=(self.library,)) as pool:
+            return pool.map(_worker_point, points, chunksize=chunksize)
+
+    def explore_grid(self, apps, areas=(None,), policies=(None,),
+                     quanta=(150,), workers=1):
+        """Explore the cross product of the given scenario axes.
+
+        Points are generated in ``apps`` (slowest) x ``areas`` x
+        ``policies`` x ``quanta`` (fastest) order.
+        """
+        points = [DesignPoint(app=app, area=area, policy=policy,
+                              quanta=resolution)
+                  for app in apps
+                  for area in areas
+                  for policy in policies
+                  for resolution in quanta]
+        return self.explore(points, workers=workers)
+
+    @staticmethod
+    def _coerce_point(point):
+        if isinstance(point, DesignPoint):
+            return point
+        if isinstance(point, str):
+            return DesignPoint(app=point)
+        raise ReproError("explore() expects DesignPoint instances or "
+                         "app names, got %r" % (point,))
+
+    def __repr__(self):
+        return "Session(library=%r, programs=%d, %r)" % (
+            self.library.name, len(self._programs), self.cache)
+
+
+def explore_grid(apps, areas=(None,), policies=(None,), quanta=(150,),
+                 workers=1, library=None):
+    """One-shot :meth:`Session.explore_grid` on a private session."""
+    return Session(library=library).explore_grid(
+        apps, areas=areas, policies=policies, quanta=quanta,
+        workers=workers)
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing for Session.explore
+# ----------------------------------------------------------------------
+_WORKER_SESSION = None
+
+
+def _worker_init(library):
+    global _WORKER_SESSION
+    _WORKER_SESSION = Session(library=library)
+
+
+def _worker_point(point):
+    return _WORKER_SESSION.evaluate_point(point)

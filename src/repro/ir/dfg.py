@@ -24,6 +24,9 @@ class DFG:
         self.name = name
         self._graph = nx.DiGraph()
         self._ops = {}
+        self._topo_cache = None
+        self._pred_cache = {}
+        self._succ_cache = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -38,6 +41,7 @@ class DFG:
                             % (operation.uid, self.name))
         self._ops[operation.uid] = operation
         self._graph.add_node(operation.uid)
+        self._invalidate_query_caches()
         return operation
 
     def new_operation(self, optype, label="", value=None):
@@ -61,6 +65,12 @@ class DFG:
             self._graph.remove_edge(producer.uid, consumer.uid)
             raise CdfgError("dependency %s -> %s creates a cycle"
                             % (producer, consumer))
+        self._invalidate_query_caches()
+
+    def _invalidate_query_caches(self):
+        self._topo_cache = None
+        self._pred_cache.clear()
+        self._succ_cache.clear()
 
     # ------------------------------------------------------------------
     # Queries
@@ -87,14 +97,31 @@ class DFG:
         return getattr(operation, "uid", None) in self._ops
 
     def predecessors(self, operation):
-        """Direct data-dependency predecessors of an operation."""
-        return [self._ops[uid] for uid in
-                sorted(self._graph.predecessors(operation.uid))]
+        """Direct data-dependency predecessors of an operation.
+
+        Memoised per node (schedulers query adjacency in inner loops);
+        callers must not mutate the returned list.
+        """
+        uid = operation.uid
+        cached = self._pred_cache.get(uid)
+        if cached is None:
+            cached = [self._ops[each] for each in
+                      sorted(self._graph.predecessors(uid))]
+            self._pred_cache[uid] = cached
+        return cached
 
     def successors(self, operation):
-        """Direct data-dependency successors of an operation."""
-        return [self._ops[uid] for uid in
-                sorted(self._graph.successors(operation.uid))]
+        """Direct data-dependency successors of an operation.
+
+        Memoised per node; callers must not mutate the returned list.
+        """
+        uid = operation.uid
+        cached = self._succ_cache.get(uid)
+        if cached is None:
+            cached = [self._ops[each] for each in
+                      sorted(self._graph.successors(uid))]
+            self._succ_cache[uid] = cached
+        return cached
 
     def transitive_successors(self, operation):
         """All operations reachable from ``operation`` (Succ(i) in Def. 2)."""
@@ -117,9 +144,18 @@ class DFG:
                 if self._graph.out_degree(uid) == 0]
 
     def topological_order(self):
-        """Operations in a deterministic topological order."""
-        order = nx.lexicographical_topological_sort(self._graph)
-        return [self._ops[uid] for uid in order]
+        """Operations in a deterministic topological order.
+
+        The order is memoised (and invalidated by mutation): every
+        scheduler walk starts here, and the graphs are immutable once
+        the frontend built them.  Callers must not mutate the returned
+        list.
+        """
+        if self._topo_cache is None:
+            self._topo_cache = [
+                self._ops[uid] for uid in
+                nx.lexicographical_topological_sort(self._graph)]
+        return self._topo_cache
 
     def op_types(self):
         """The set of operation types present in this DFG."""

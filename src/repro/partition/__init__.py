@@ -11,7 +11,11 @@ is minimised under the remaining-area constraint for controllers.
 
 from repro.partition.model import TargetArchitecture, BSBCost, bsb_costs
 from repro.partition.communication import sequence_communication_time
-from repro.partition.pace import pace_partition, PartitionResult
+from repro.partition.pace import (
+    pace_partition,
+    PartitionResult,
+    SequenceTable,
+)
 from repro.partition.speedup import speedup_percent
 from repro.partition.evaluate import evaluate_allocation
 
@@ -22,6 +26,7 @@ __all__ = [
     "sequence_communication_time",
     "pace_partition",
     "PartitionResult",
+    "SequenceTable",
     "speedup_percent",
     "evaluate_allocation",
 ]

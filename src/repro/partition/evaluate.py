@@ -4,14 +4,25 @@ This is the paper's evaluation loop (section 5): the quality of an
 allocation *is* the speed-up PACE achieves with it.  Both the heuristic
 allocation and every allocation visited by the exhaustive search go
 through this same function, so comparisons are consistent.
+
+With an :class:`~repro.engine.cache.EvalCache` (what the engine's
+:class:`~repro.engine.session.Session` passes), three levels memoise:
+
+* whole evaluations, keyed by (BSBs, architecture, allocation, quanta);
+* per-BSB cost objects (see :mod:`repro.partition.model`);
+* PACE :class:`~repro.partition.pace.SequenceTable` instances, keyed by
+  the identity of the cost array — allocations that differ only in
+  resources no BSB can use share one table and only re-run the DP.
 """
 
 from dataclasses import dataclass
 
 from repro.core.rmap import RMap
+from repro.engine.cache import EvalCache
 from repro.errors import PartitionError
 from repro.partition.model import bsb_costs
-from repro.partition.pace import pace_partition, PartitionResult
+from repro.partition.pace import SequenceTable, pace_partition, \
+    PartitionResult
 
 
 @dataclass
@@ -47,8 +58,22 @@ class AllocationEvaluation:
         return self.datapath_area / used
 
 
+def _evaluation_key(bsbs, allocation, architecture, area_quanta,
+                    overhead_model, cache):
+    return (cache.uid_key(bsbs),
+            cache.pin(architecture.library),
+            cache.processor_token(architecture.processor),
+            architecture.total_area,
+            architecture.comm_cycles_per_word,
+            architecture.hw_cycle_ratio,
+            allocation,
+            area_quanta,
+            None if overhead_model is None else cache.pin(overhead_model))
+
+
 def evaluate_allocation(bsbs, allocation, architecture, area_quanta=400,
-                        cache=None, overhead_model=None):
+                        cache=None, overhead_model=None,
+                        remember=True):
     """Partition ``bsbs`` under ``allocation`` and return the evaluation.
 
     Args:
@@ -56,14 +81,34 @@ def evaluate_allocation(bsbs, allocation, architecture, area_quanta=400,
         allocation: Data-path allocation (RMap or dict).
         architecture: The target architecture (defines the total area).
         area_quanta: Resolution of PACE's area axis.
-        cache: Optional dict memoising hardware schedule lengths across
-            evaluations (used heavily by the exhaustive search).
+        cache: Optional memo store shared across evaluations: either a
+            plain dict of hardware schedule lengths (the legacy
+            contract) or an :class:`~repro.engine.cache.EvalCache`,
+            which additionally memoises cost arrays, PACE sequence
+            tables and whole evaluations.
         overhead_model: Optional
             :class:`~repro.hwlib.overheads.OverheadModel`: charges the
             interconnect/storage estimate of the future-work extension
             against the area left for controllers.
+        remember: Store the whole evaluation (and its PACE result) in
+            the cache.  Enumeration-style searches that visit each
+            allocation exactly once pass ``False`` so the memo does not
+            grow by one entry per candidate for ~zero hits; the
+            schedule/cost/table collapsing — where the actual reuse is
+            — still applies, and lookups still hit entries remembered
+            by other callers.
     """
     allocation = RMap._coerce(allocation)
+    engine_cache = cache if isinstance(cache, EvalCache) else None
+    if engine_cache is not None:
+        key = _evaluation_key(bsbs, allocation, architecture, area_quanta,
+                              overhead_model, engine_cache)
+        evaluation = engine_cache.evals.get(key)
+        if evaluation is not None:
+            engine_cache.stats.hit("eval")
+            return evaluation
+        engine_cache.stats.miss("eval")
+
     datapath_area = allocation.area(architecture.library)
     if datapath_area > architecture.total_area:
         raise PartitionError(
@@ -79,12 +124,47 @@ def evaluate_allocation(bsbs, allocation, architecture, area_quanta=400,
     # (terrible) design point, not an error: PACE then moves nothing.
     available = architecture.total_area - datapath_area - overhead_area
     costs = bsb_costs(bsbs, allocation, architecture, cache=cache)
-    partition = pace_partition(costs, architecture, available,
-                               area_quanta=area_quanta)
-    return AllocationEvaluation(
+
+    sequence_table = None
+    if engine_cache is not None:
+        # Cost objects are memoised (hence pinned) by bsb_costs, so
+        # their ids are a stable, cheap identity for the whole array.
+        table_key = (tuple(map(id, costs)),
+                     architecture.comm_cycles_per_word)
+        sequence_table = engine_cache.tables.get(table_key)
+        if sequence_table is None:
+            engine_cache.stats.miss("table")
+            sequence_table = SequenceTable(costs, architecture)
+            engine_cache.tables[table_key] = sequence_table
+        else:
+            engine_cache.stats.hit("table")
+
+    partition = None
+    partition_key = None
+    if engine_cache is not None:
+        # A PartitionResult depends only on (costs, communication model,
+        # available area, quanta) — the table already encodes the first
+        # two, so allocations that differ only in resources no BSB uses
+        # while their data-path areas coincide share one DP run.
+        partition_key = (id(sequence_table), available, area_quanta)
+        partition = engine_cache.partitions.get(partition_key)
+        if partition is None:
+            engine_cache.stats.miss("partition")
+        else:
+            engine_cache.stats.hit("partition")
+    if partition is None:
+        partition = pace_partition(costs, architecture, available,
+                                   area_quanta=area_quanta,
+                                   sequence_table=sequence_table)
+        if engine_cache is not None and remember:
+            engine_cache.partitions[partition_key] = partition
+    evaluation = AllocationEvaluation(
         allocation=allocation,
         datapath_area=datapath_area,
         available_controller_area=available,
         partition=partition,
         overhead_area=overhead_area,
     )
+    if engine_cache is not None and remember:
+        engine_cache.evals[key] = evaluation
+    return evaluation

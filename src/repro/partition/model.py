@@ -3,6 +3,7 @@
 from dataclasses import dataclass, field
 
 from repro.core.eca import controller_area_for_states
+from repro.engine.cache import EvalCache
 from repro.errors import PartitionError
 from repro.hwlib.library import ResourceLibrary
 from repro.sched.list_scheduler import list_schedule
@@ -81,27 +82,66 @@ class BSBCost:
         return self.sw_time - self.hw_time
 
 
-def _relevant_counts(bsb, allocation, library):
+def _ops_per_resource(bsb, library, cache=None):
+    """Designated-resource demand of one BSB, as a sorted (name, need)
+    tuple — the pre-ordered form lets the hot signature path skip a
+    dict build and a sort per evaluation."""
+    if isinstance(cache, EvalCache):
+        key = (bsb.uid, cache.pin(library))
+        ops = cache.ops.get(key)
+        if ops is not None:
+            return ops
+    counts = {}
+    for optype, op_count in bsb.dfg.count_by_type().items():
+        name = library.resource_for(optype).name
+        counts[name] = counts.get(name, 0) + op_count
+    ops = tuple(sorted(counts.items()))
+    if isinstance(cache, EvalCache):
+        cache.ops[key] = ops
+    return ops
+
+
+def _relevant_counts(bsb, allocation, library, cache=None):
     """The allocation as seen by one BSB, capped at useful counts.
 
     A BSB with three multiplications schedules identically under four or
     forty multipliers; capping the counts makes the cache key collapse
     across allocations that differ only in irrelevant resources.
     """
-    ops_per_resource = {}
-    for optype, op_count in bsb.dfg.count_by_type().items():
-        name = library.resource_for(optype).name
-        ops_per_resource[name] = ops_per_resource.get(name, 0) + op_count
-    counts = {name: min(allocation.get(name, 0), need)
-              for name, need in ops_per_resource.items()}
-    return tuple(sorted(counts.items()))
+    get = allocation.get
+    return tuple((name, min(get(name, 0), need))
+                 for name, need in _ops_per_resource(bsb, library,
+                                                     cache=cache))
+
+
+def _capability(bsb, library, cache=None):
+    """(capable resource names, per-optype capable names) of one BSB.
+
+    Used by the module-selection paths: which library units can execute
+    any of the BSB's operation types at all.
+    """
+    if isinstance(cache, EvalCache):
+        key = (bsb.uid, cache.pin(library))
+        capability = cache.capable.get(key)
+        if capability is not None:
+            return capability
+    per_type = {optype: frozenset(resource.name for resource
+                                  in library.candidates_for(optype))
+                for optype in bsb.dfg.op_types()}
+    names = frozenset().union(*per_type.values()) if per_type \
+        else frozenset()
+    capability = (names, per_type)
+    if isinstance(cache, EvalCache):
+        cache.capable[key] = capability
+    return capability
 
 
 def hardware_steps(bsb, allocation, architecture, cache=None):
     """List-schedule length of a BSB under ``allocation``, or ``None``.
 
     ``None`` means the allocation lacks a required unit and the BSB
-    cannot execute in hardware.  ``cache`` (a plain dict) memoises
+    cannot execute in hardware.  ``cache`` — a plain dict of schedule
+    lengths or an :class:`~repro.engine.cache.EvalCache` — memoises
     schedule lengths across the many allocations an exhaustive search
     evaluates.
 
@@ -112,44 +152,134 @@ def hardware_steps(bsb, allocation, architecture, cache=None):
     library = architecture.library
     if not len(bsb.dfg):
         return 0
-    counts = _relevant_counts(bsb, allocation, library)
+    sched_cache = cache.sched if isinstance(cache, EvalCache) else cache
+    counts = _relevant_counts(bsb, allocation, library, cache=cache)
     if all(count >= 1 for _, count in counts):
         key = None
-        if cache is not None:
-            key = (bsb.uid, counts)
-            if key in cache:
-                return cache[key]
-        steps = list_schedule(bsb.dfg, dict(counts), library).length
-        if cache is not None:
-            cache[key] = steps
+        if sched_cache is not None:
+            # The legacy plain-dict cache is created fresh per
+            # single-library search, so its keys never needed the
+            # library; the long-lived EvalCache serves sessions that
+            # may evaluate under several libraries.
+            if isinstance(cache, EvalCache):
+                key = (bsb.uid, counts, cache.pin(library))
+            else:
+                key = (bsb.uid, counts)
+            if key in sched_cache:
+                return sched_cache[key]
+        priority = latencies = None
+        if isinstance(cache, EvalCache):
+            priority, latencies = _schedule_inputs(bsb, library, cache)
+        steps = list_schedule(bsb.dfg, dict(counts), library,
+                              priority=priority,
+                              latencies=latencies).length
+        if sched_cache is not None:
+            sched_cache[key] = steps
         return steps
     return _hetero_hardware_steps(bsb, allocation, library, cache)
 
 
-def _hetero_hardware_steps(bsb, allocation, library, cache):
-    """Schedule length under a module-selection mix, or ``None``."""
+def _schedule_inputs(bsb, library, cache):
+    """(priority map, latency table) for list-scheduling one BSB.
+
+    Derived from the memoised ASAP/ALAP intervals (the ALAP start *is*
+    the list scheduler's priority), so the many allocations that
+    re-schedule the same DFG pay the graph preprocessing once.
+    """
+    key = (bsb.uid, cache.pin(library))
+    inputs = cache.sched_inputs.get(key)
+    if inputs is None:
+        from repro.sched.mobility import asap_alap_intervals
+        from repro.sched.schedule import latency_table
+
+        intervals = asap_alap_intervals(bsb.dfg, library=library,
+                                        cache=cache.intervals,
+                                        cache_key=key)
+        priority = {uid: (interval[1], uid)
+                    for uid, interval in intervals.items()}
+        inputs = (priority, latency_table(bsb.dfg, library=library))
+        cache.sched_inputs[key] = inputs
+    return inputs
+
+
+def _hetero_relevant(bsb, allocation, library, cache=None):
+    """Allocation restricted to units capable of the BSB's types, or
+    ``None`` when some type has no allocated capable unit."""
+    if isinstance(cache, EvalCache):
+        capable, per_type = _capability(bsb, library, cache=cache)
+        for names in per_type.values():
+            if not any(allocation.get(name, 0) for name in names):
+                return None
+        return tuple(sorted((name, count)
+                            for name, count in allocation.items()
+                            if count and name in capable))
     from repro.core.furo import allocated_units_for
-    from repro.sched.hetero_scheduler import hetero_list_schedule
 
     for optype in bsb.dfg.op_types():
         if allocated_units_for(optype, allocation, library) < 1:
             return None
-    relevant = tuple(sorted(
+    return tuple(sorted(
         (name, count) for name, count in allocation.items()
         if count and any(library.get(name).executes(optype)
                          for optype in bsb.dfg.op_types())))
-    key = (bsb.uid, "hetero", relevant)
-    if cache is not None and key in cache:
-        return cache[key]
+
+
+def _hetero_hardware_steps(bsb, allocation, library, cache):
+    """Schedule length under a module-selection mix, or ``None``."""
+    from repro.sched.hetero_scheduler import hetero_list_schedule
+
+    relevant = _hetero_relevant(bsb, allocation, library, cache=cache)
+    if relevant is None:
+        return None
+    sched_cache = cache.sched if isinstance(cache, EvalCache) else cache
+    if isinstance(cache, EvalCache):
+        key = (bsb.uid, "hetero", relevant, cache.pin(library))
+    else:
+        key = (bsb.uid, "hetero", relevant)
+    if sched_cache is not None and key in sched_cache:
+        return sched_cache[key]
     steps = hetero_list_schedule(bsb.dfg, dict(relevant), library).length
-    if cache is not None:
-        cache[key] = steps
+    if sched_cache is not None:
+        sched_cache[key] = steps
     return steps
 
 
-def bsb_cost(bsb, allocation, architecture, cache=None):
-    """Compute the :class:`BSBCost` of one BSB under ``allocation``."""
-    sw_time = bsb_software_time(bsb, architecture.processor)
+def _arch_cost_key(architecture, cache):
+    """The architecture knobs a BSBCost depends on, as one key part."""
+    return (cache.pin(architecture.library),
+            cache.processor_token(architecture.processor),
+            architecture.hw_cycle_ratio)
+
+
+def _allocation_signature(bsb, allocation, library, cache):
+    """The slice of ``allocation`` the BSB's cost actually depends on.
+
+    Two allocations with equal signatures yield bit-identical BSBCosts,
+    which is what makes the per-BSB cost memo below exact.
+    _cached_bsb_costs computes these same signatures inline over groups
+    of BSBs — keep the two in sync.
+    """
+    if not len(bsb.dfg):
+        return ("empty",)
+    counts = _relevant_counts(bsb, allocation, library, cache=cache)
+    if all(count >= 1 for _, count in counts):
+        return ("homo", counts)
+    return ("hetero", _hetero_relevant(bsb, allocation, library,
+                                       cache=cache))
+
+
+def _software_time(bsb, processor, cache=None):
+    """Memoised :func:`bsb_software_time` (allocation-independent)."""
+    if isinstance(cache, EvalCache):
+        key = (bsb.uid, cache.processor_token(processor))
+        if key not in cache.sw_times:
+            cache.sw_times[key] = bsb_software_time(bsb, processor)
+        return cache.sw_times[key]
+    return bsb_software_time(bsb, processor)
+
+
+def _compute_bsb_cost(bsb, allocation, architecture, cache):
+    sw_time = _software_time(bsb, architecture.processor, cache=cache)
     steps = hardware_steps(bsb, allocation, architecture, cache=cache)
     if steps is None:
         hw_time = None
@@ -169,7 +299,121 @@ def bsb_cost(bsb, allocation, architecture, cache=None):
     )
 
 
+def bsb_cost(bsb, allocation, architecture, cache=None):
+    """Compute the :class:`BSBCost` of one BSB under ``allocation``.
+
+    With an :class:`~repro.engine.cache.EvalCache` the whole cost object
+    is memoised by its true inputs — the BSB, the allocation counts the
+    BSB can use, and the architecture knobs entering the cost — so the
+    exhaustive search's thousands of allocations collapse onto a few
+    distinct cost signatures per BSB.
+    """
+    if not isinstance(cache, EvalCache):
+        return _compute_bsb_cost(bsb, allocation, architecture, cache)
+    # Same key shape as _cached_bsb_costs (and _allocation_signature
+    # computes the same signatures as its grouped inline form), so both
+    # entry points share one memo entry per logical cost.
+    key = (bsb.uid,
+           _allocation_signature(bsb, allocation, architecture.library,
+                                 cache),
+           _arch_cost_key(architecture, cache))
+    cost = cache.costs.get(key)
+    if cost is not None:
+        cache.stats.hit("cost")
+        return cost
+    cache.stats.miss("cost")
+    cost = _compute_bsb_cost(bsb, allocation, architecture, cache)
+    cache.costs[key] = cost
+    return cost
+
+
+def _cost_plan(bsbs, library, cache):
+    """Group a BSB array by identical cost-signature functions.
+
+    A BSB's signature depends only on its designated-resource demand
+    (homogeneous case) or its capable-resource set (module-selection
+    case); BSBs sharing both compute identical signatures under every
+    allocation, so one evaluation needs each distinct signature once.
+    Returns (per-BSB group indices, group identity list).
+    """
+    plan_key = (cache.uid_key(bsbs), cache.pin(library))
+    plan = cache.cost_plans.get(plan_key)
+    if plan is not None:
+        return plan
+    group_index = {}
+    group_list = []
+    members = []
+    for bsb in bsbs:
+        if not len(bsb.dfg):
+            identity = None
+        else:
+            ops = _ops_per_resource(bsb, library, cache=cache)
+            capable, per_type = _capability(bsb, library, cache=cache)
+            type_sets = tuple(names for _, names in sorted(
+                per_type.items(), key=lambda item: item[0].value))
+            identity = (ops, capable, type_sets)
+        index = group_index.get(identity)
+        if index is None:
+            index = len(group_list)
+            group_index[identity] = index
+            group_list.append(identity)
+        members.append(index)
+    plan = (members, group_list)
+    cache.cost_plans[plan_key] = plan
+    return plan
+
+
+def _cached_bsb_costs(bsbs, allocation, architecture, cache):
+    """Memoised cost array: one signature per group, one get per BSB."""
+    library = architecture.library
+    members, group_list = _cost_plan(bsbs, library, cache)
+    arch_key = _arch_cost_key(architecture, cache)
+    get = allocation.get
+    signatures = []
+    for identity in group_list:
+        if identity is None:
+            signatures.append(("empty",))
+            continue
+        ops, capable, type_sets = identity
+        counts = tuple((name, min(get(name, 0), need))
+                       for name, need in ops)
+        if all(count >= 1 for _, count in counts):
+            signatures.append(("homo", counts))
+        elif all(any(get(name, 0) for name in names)
+                 for names in type_sets):
+            signatures.append(("hetero", tuple(sorted(
+                (name, count) for name, count in allocation.items()
+                if count and name in capable))))
+        else:
+            # Unexecutable under this allocation: every such allocation
+            # shares one signature (and thus one cost object), exactly
+            # like _hetero_relevant's None case.
+            signatures.append(("hetero", None))
+    costs_memo = cache.costs
+    hits = 0
+    misses = 0
+    result = []
+    for bsb, index in zip(bsbs, members):
+        key = (bsb.uid, signatures[index], arch_key)
+        cost = costs_memo.get(key)
+        if cost is None:
+            misses += 1
+            cost = _compute_bsb_cost(bsb, allocation, architecture, cache)
+            costs_memo[key] = cost
+        else:
+            hits += 1
+        result.append(cost)
+    stats = cache.stats
+    if hits:
+        stats.hits["cost"] = stats.hits.get("cost", 0) + hits
+    if misses:
+        stats.misses["cost"] = stats.misses.get("cost", 0) + misses
+    return result
+
+
 def bsb_costs(bsbs, allocation, architecture, cache=None):
     """Per-BSB costs for the whole application, in array order."""
+    if isinstance(cache, EvalCache):
+        return _cached_bsb_costs(bsbs, allocation, architecture, cache)
     return [bsb_cost(bsb, allocation, architecture, cache=cache)
             for bsb in bsbs]

@@ -92,7 +92,8 @@ def _pinned_costs(costs, pinned_names):
 
 
 def multi_asic_codesign(bsbs, library, asic_areas, processor=None,
-                        comm_cycles_per_word=4.0, area_quanta=200):
+                        comm_cycles_per_word=4.0, area_quanta=200,
+                        session=None):
     """Allocate and partition across several ASICs.
 
     Args:
@@ -102,9 +103,18 @@ def multi_asic_codesign(bsbs, library, asic_areas, processor=None,
         processor: Software model (defaults to the standard core).
         comm_cycles_per_word: HW/SW interface cost.
         area_quanta: PACE area resolution per round.
+        session: Optional engine
+            :class:`~repro.engine.session.Session`; rounds share its
+            cache, so schedules and costs computed for ASIC ``i`` are
+            reused when ASIC ``i+1`` re-examines the same BSBs (a
+            private session is created otherwise).
     """
     from repro.swmodel.processor import default_processor
 
+    if session is None:
+        from repro.engine.session import Session
+
+        session = Session(library=library)
     asic_areas = [float(area) for area in asic_areas]
     if not asic_areas:
         raise PartitionError("need at least one ASIC area")
@@ -125,12 +135,14 @@ def multi_asic_codesign(bsbs, library, asic_areas, processor=None,
         candidates = [bsb for bsb in bsbs if bsb.name not in moved]
         if not candidates:
             break
-        result = allocate(candidates, library, area=area)
+        result = allocate(candidates, library, area=area,
+                          cache=session.cache)
         allocation = result.allocation
         datapath_area = allocation.area(library)
         available = area - datapath_area
 
-        costs = bsb_costs(bsbs, allocation, architecture)
+        costs = bsb_costs(bsbs, allocation, architecture,
+                          cache=session.cache)
         if sw_time_all is None:
             sw_time_all = sum(cost.sw_time for cost in costs)
         partition = pace_partition(_pinned_costs(costs, moved),

@@ -16,10 +16,15 @@ classic knapsack-with-sequences formulation.  Area is discretised into
 never violated).
 """
 
+import math
 from dataclasses import dataclass, field
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the environment bakes numpy in
+    _np = None
+
 from repro.errors import PartitionError
-from repro.partition.communication import sequence_communication_time
 from repro.partition.speedup import speedup_percent
 
 
@@ -51,33 +56,279 @@ class PartitionResult:
     hw_fraction: float = 0.0
 
 
-def _sequence_tables(costs, architecture, available_area):
-    """Gain and area of every feasible contiguous sequence.
+class SequenceTable:
+    """Gain and area of feasible contiguous sequences, area-prunable.
 
-    Returns dict (i, j) -> (gain_cycles, area); indices inclusive,
-    0-based.  Sequences containing an unmovable BSB are absent.
+    A sequence's gain and area do not depend on the controller area
+    available — only on its BSB costs and the communication model.  The
+    area constraint merely *prunes* which sequences are worth keeping.
+    The table therefore builds entries lazily up to the largest area
+    horizon ever queried and serves smaller areas by filtering, so
+    incremental-area re-partitions — the exhaustive search evaluating
+    many allocations whose cost arrays coincide while their data-path
+    areas differ — reuse all sequence work done so far.
+
+    Entries map ``(first, last)`` (inclusive, 0-based) to
+    ``(gain_cycles, area)``; sequences containing an unmovable BSB are
+    absent.  A table must only be queried with the exact ``costs`` and
+    ``architecture`` it was built from.
     """
-    count = len(costs)
-    tables = {}
-    for first in range(count):
-        if not costs[first].movable:
+
+    __slots__ = ("_costs", "_architecture", "_entries", "_horizon",
+                 "_resume", "_positive", "_fields")
+
+    def __init__(self, costs, architecture):
+        self._costs = list(costs)
+        self._architecture = architecture
+        self._entries = {}
+        self._positive = []
+        self._horizon = 0.0
+        # Cost attributes unpacked once into parallel tuples: the build
+        # loop below touches each many times per row and dataclass
+        # attribute loads dominate it otherwise.
+        self._fields = tuple(
+            (cost.movable, cost.controller_area, cost.reads, cost.writes,
+             cost.profile_count,
+             (cost.sw_time - cost.hw_time) if cost.movable else 0.0)
+            for cost in self._costs)
+        # Per-first continuation: first -> (next last index, area, live-in
+        # set, defined set, min profile count, gain sum) — the incremental
+        # state from which appending one more BSB extends the row in O(1)
+        # set-delta work instead of re-walking the whole segment.  A row
+        # leaves the map once it hits an unmovable BSB or the array end.
+        self._resume = {first: (first, 0.0, set(), set(), float("inf"), 0.0)
+                        for first, cost in enumerate(self._costs)
+                        if cost.movable}
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def horizon(self):
+        """Largest area the table has been built for so far."""
+        return self._horizon
+
+    def entries(self, available_area):
+        """dict (first, last) -> (gain, area) of sequences fitting the area.
+
+        Growing queries extend the table in place; shrinking queries
+        prune the already-built entries without recomputation.
+        """
+        if available_area > self._horizon:
+            self._extend(available_area)
+        if available_area >= self._horizon:
+            return self._entries
+        return {key: value for key, value in self._entries.items()
+                if value[1] <= available_area}
+
+    def positive_entries(self, available_area):
+        """(last, first, gain, area) of positive-gain sequences that fit.
+
+        The flat-list form the DP consumes: only sequences that save
+        cycles can ever be chosen, so the losers are filtered once at
+        build time instead of on every partition call.
+        """
+        if available_area > self._horizon:
+            self._extend(available_area)
+        if available_area >= self._horizon:
+            return self._positive
+        return [entry for entry in self._positive
+                if entry[3] <= available_area]
+
+    def _extend(self, horizon):
+        # The incremental state mirrors sequence_communication_time /
+        # sequence_live_in / sequence_live_out exactly: live-in grows by
+        # the reads not yet defined, the defined set (== live-out, every
+        # written variable is conservatively transferred) by the writes,
+        # the activation count is the running min profile count, and the
+        # gain sum accumulates in the same left-to-right order as the
+        # from-scratch sum() — so entries are bit-identical to a rebuild.
+        fields = self._fields
+        comm_per_word = self._architecture.comm_cycles_per_word
+        count = len(fields)
+        entries = self._entries
+        positive = self._positive
+        finished = []
+        for first, state in self._resume.items():
+            last, area, live_in, defined, min_profile, gain_sum = state
+            while last < count:
+                (movable, controller_area, reads, writes, profile,
+                 time_delta) = fields[last]
+                if not movable:
+                    last = count
+                    break
+                if area + controller_area > horizon:
+                    break
+                area += controller_area
+                live_in |= (reads - defined)
+                defined |= writes
+                if profile < min_profile:
+                    min_profile = profile
+                gain_sum += time_delta
+                comm = comm_per_word * ((len(live_in) + len(defined))
+                                        * min_profile)
+                gain = gain_sum - comm
+                entries[(first, last)] = (gain, area)
+                if gain > 0:
+                    positive.append((last, first, gain, area))
+                last += 1
+            if last >= count:
+                finished.append(first)
+            else:
+                self._resume[first] = (last, area, live_in, defined,
+                                       min_profile, gain_sum)
+        for first in finished:
+            del self._resume[first]
+        self._horizon = horizon
+
+
+#: Relative slack tolerated when rounding an area up to whole quanta: a
+#: sequence whose area is a float-noise epsilon above a quantum boundary
+#: must not be charged a full extra quantum.  Areas reach the DP as sums
+#: of float controller areas, so the noise scales with the magnitude of
+#: the ratio — hence a relative, not absolute, tolerance.
+_QUANTIZE_RTOL = 1e-9
+
+
+def _quantize(area, quantum):
+    """Quanta covering ``area``: ceiling with a relative tolerance."""
+    ratio = area / quantum
+    quanta = math.ceil(ratio - _QUANTIZE_RTOL * max(1.0, ratio))
+    return max(1, quanta)
+
+
+def _quantized_by_last(positive, quantum, count):
+    """Group positive sequences by last BSB with their quanta charge.
+
+    Returns per-last lists of (first, gain, needed), ascending first —
+    the order the DP relaxes them in.  The quantization is _quantize
+    inlined (one call per worthwhile sequence per partition call is
+    where the function-call overhead shows); a unit test pins the two
+    implementations together.
+    """
+    seq_by_last = [[] for _ in range(count)]
+    ceil = math.ceil
+    rtol = _QUANTIZE_RTOL
+    for last, first, gain, area in positive:
+        ratio = area / quantum
+        needed = ceil(ratio - rtol * (ratio if ratio > 1.0 else 1.0))
+        seq_by_last[last].append((first, gain,
+                                  needed if needed > 1 else 1))
+    for entries in seq_by_last:
+        entries.sort()
+    return seq_by_last
+
+
+#: BSB-array size from which the vectorised DP beats the plain one (the
+#: per-vector numpy overhead loses on the paper's small benchmarks but
+#: wins ~15% on eigen-sized arrays; measured on the Table 1 suite).
+_NUMPY_DP_MIN_BSBS = 32
+
+
+def _dp_python(count, width, seq_by_last):
+    """The knapsack-with-sequences DP, pure-Python reference path.
+
+    Returns (total saving, chosen (first, last) pairs in array order).
+    """
+    best = [[0.0] * width]
+    choice = [[None] * width]
+    for j in range(1, count + 1):
+        row = best[j - 1][:]
+        choice_row = [None] * width
+        for first, gain, needed in seq_by_last[j - 1]:
+            if needed >= width:
+                continue
+            base = best[first]
+            # Rows are nondecreasing in w (more area never hurts), so a
+            # sequence whose best candidate cannot beat the cheapest
+            # target state cannot improve anything.
+            if base[width - 1 - needed] + gain <= row[needed]:
+                continue
+            w = needed
+            for base_value in base[:width - needed]:
+                candidate = base_value + gain
+                if candidate > row[w]:
+                    row[w] = candidate
+                    choice_row[w] = (first, w - needed)
+                w += 1
+        best.append(row)
+        choice.append(choice_row)
+
+    hw_sequences = []
+    j, w = count, width - 1
+    total_saving = best[count][width - 1]
+    while j > 0:
+        picked = choice[j][w]
+        if picked is None:
+            j -= 1
             continue
-        area = 0.0
-        for last in range(first, count):
-            cost = costs[last]
-            if not cost.movable:
-                break
-            area += cost.controller_area
-            if area > available_area:
-                break
-            segment = costs[first:last + 1]
-            comm = sequence_communication_time(segment, architecture)
-            gain = sum(c.sw_time - c.hw_time for c in segment) - comm
-            tables[(first, last)] = (gain, area)
-    return tables
+        first, w_prev = picked
+        hw_sequences.append((first, j - 1))
+        j, w = first, w_prev
+    hw_sequences.reverse()
+    return total_saving, hw_sequences
 
 
-def pace_partition(costs, architecture, available_area, area_quanta=400):
+def _dp_numpy(count, width, seq_by_last):
+    """The same DP with whole area rows relaxed as numpy vectors.
+
+    Per-element float64 additions and strict comparisons match the
+    Python path operation for operation, so savings and choices are
+    bit-identical; only the loop over area quanta moves into C.
+    """
+    best = _np.zeros((count + 1, width))
+    choice_first = _np.full((count + 1, width), -1, dtype=_np.int32)
+    choice_wprev = _np.zeros((count + 1, width), dtype=_np.int32)
+    columns = _np.arange(width)
+    for j in range(1, count + 1):
+        row = best[j]
+        row[:] = best[j - 1]
+        # Rows are nondecreasing in w, so a sequence whose best
+        # candidate cannot beat the cheapest target state of the
+        # *pre-relaxation* row (which only grows) can never win.
+        live = [(first, gain, needed)
+                for first, gain, needed in seq_by_last[j - 1]
+                if needed < width
+                and best[first][width - 1 - needed] + gain > row[needed]]
+        if not live:
+            continue
+        # All candidate rows at once: stack[0] keeps BSB j-1 in
+        # software; stack[i] moves sequence live[i-1].  argmax takes the
+        # first row achieving the maximum, which reproduces the
+        # sequential strict-> relaxation's tie-break (earliest wins).
+        stack = _np.full((len(live) + 1, width), -_np.inf)
+        stack[0] = row
+        for index, (first, gain, needed) in enumerate(live, start=1):
+            stack[index, needed:] = best[first][:width - needed] + gain
+        winner = stack.argmax(axis=0)
+        row[:] = stack[winner, columns]
+        updated = _np.nonzero(winner)[0]
+        if updated.size:
+            firsts = _np.fromiter((entry[0] for entry in live),
+                                  dtype=_np.int32, count=len(live))
+            neededs = _np.fromiter((entry[2] for entry in live),
+                                   dtype=_np.int32, count=len(live))
+            chosen = winner[updated] - 1
+            choice_first[j, updated] = firsts[chosen]
+            choice_wprev[j, updated] = updated - neededs[chosen]
+
+    hw_sequences = []
+    j, w = count, width - 1
+    total_saving = float(best[count, width - 1])
+    while j > 0:
+        first = int(choice_first[j, w])
+        if first < 0:
+            j -= 1
+            continue
+        w_prev = int(choice_wprev[j, w])
+        hw_sequences.append((first, j - 1))
+        j, w = first, w_prev
+    hw_sequences.reverse()
+    return total_saving, hw_sequences
+
+
+def pace_partition(costs, architecture, available_area, area_quanta=400,
+                   sequence_table=None):
     """Run PACE and return a :class:`PartitionResult`.
 
     Args:
@@ -86,6 +337,9 @@ def pace_partition(costs, architecture, available_area, area_quanta=400):
         available_area: Area left for controllers (total ASIC area minus
             the pre-allocated data-path).
         area_quanta: Resolution of the DP's area axis.
+        sequence_table: Optional pre-built :class:`SequenceTable` for
+            exactly these ``costs`` under exactly this communication
+            model; reused across calls with different available areas.
     """
     if area_quanta < 1:
         raise PartitionError("area_quanta must be >= 1")
@@ -99,52 +353,28 @@ def pace_partition(costs, architecture, available_area, area_quanta=400):
             speedup=0.0, available_area=max(0.0, available_area))
 
     quantum = available_area / area_quanta
-    sequences = _sequence_tables(costs, architecture, available_area)
+    if sequence_table is None:
+        sequence_table = SequenceTable(costs, architecture)
 
-    def quantize(area):
-        quanta = int(area / quantum + 0.999999999)
-        return max(1, quanta)
-
-    # best[j][w]: max saving considering BSBs[0..j-1] with w quanta.
-    # choice[j][w]: None (BSB j-1 stays in software) or (i, w_prev)
-    # meaning sequence (i .. j-1) moved, transitioning from best[i][w_prev].
+    # Ties on equal savings go to the earliest-relaxed sequence, so the
+    # ascending-first order _quantized_by_last returns is part of the
+    # DP's contract.
     width = area_quanta + 1
-    best = [[0.0] * width for _ in range(count + 1)]
-    choice = [[None] * width for _ in range(count + 1)]
+    seq_by_last = _quantized_by_last(
+        sequence_table.positive_entries(available_area), quantum, count)
 
-    for j in range(1, count + 1):
-        row = best[j]
-        prev_row = best[j - 1]
-        for w in range(width):
-            row[w] = prev_row[w]
-        for first in range(j):
-            entry = sequences.get((first, j - 1))
-            if entry is None:
-                continue
-            gain, area = entry
-            if gain <= 0:
-                continue
-            needed = quantize(area)
-            base = best[first]
-            for w in range(needed, width):
-                candidate = base[w - needed] + gain
-                if candidate > row[w]:
-                    row[w] = candidate
-                    choice[j][w] = (first, w - needed)
-
-    # Reconstruct the chosen sequences.
-    hw_sequences = []
-    j, w = count, width - 1
-    total_saving = best[count][width - 1]
-    while j > 0:
-        picked = choice[j][w]
-        if picked is None:
-            j -= 1
-            continue
-        first, w_prev = picked
-        hw_sequences.append((first, j - 1))
-        j, w = first, w_prev
-    hw_sequences.reverse()
+    # best[j][w]: max saving considering BSBs[0..j-1] with w quanta;
+    # the choice arrays record, per state, the moved sequence's first
+    # index (-1: BSB j-1 stays in software) and the w it transitioned
+    # from.  Both paths perform the identical float additions and strict
+    # comparisons in the identical order, so their savings and choices
+    # are bit-for-bit the same; the numpy path relaxes whole area rows
+    # at once, which only pays off once the instance is large enough to
+    # amortise the per-vector overhead.
+    if _np is not None and count >= _NUMPY_DP_MIN_BSBS:
+        total_saving, hw_sequences = _dp_numpy(count, width, seq_by_last)
+    else:
+        total_saving, hw_sequences = _dp_python(count, width, seq_by_last)
 
     hw_names = []
     controller_area_used = 0.0

@@ -5,19 +5,32 @@ CLI are thin wrappers around these.  See DESIGN.md's experiment index
 (T1, F3, F5, S51, T1n, C44) and EXPERIMENTS.md for measured results.
 """
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apps.registry import application_names, application_spec
-from repro.core.allocator import allocate
 from repro.core.eca import actual_controller_area, estimated_controller_area
-from repro.core.exhaustive import exhaustive_best_allocation, space_size
-from repro.core.iteration import design_iteration
+from repro.core.exhaustive import space_size
 from repro.core.rmap import RMap
-from repro.hwlib.library import default_library
-from repro.partition.evaluate import evaluate_allocation
+from repro.engine.session import Session
+from repro.errors import ReproError
 from repro.partition.model import TargetArchitecture
 from repro.report.tables import render_table
+
+
+def _resolve_session(session, library):
+    """A session honouring ``library``; loud when the two conflict.
+
+    The experiment drivers predate the engine and keep their
+    ``library=`` parameter; silently preferring a passed session's
+    library would compute reproduction numbers against the wrong
+    resource set.
+    """
+    if session is None:
+        return Session(library=library)
+    if library is not None and library is not session.library:
+        raise ReproError("pass either session= or library=, not both: "
+                         "the session is bound to its own library")
+    return session
 
 
 # ----------------------------------------------------------------------
@@ -55,29 +68,33 @@ class Table1Row:
 
 
 def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
-               max_evaluations=None, program=None):
-    """Measure one Table 1 row for the named benchmark."""
-    from repro.apps.registry import load_application
+               max_evaluations=None, program=None, session=None):
+    """Measure one Table 1 row for the named benchmark.
 
-    library = library or default_library()
+    All stages run through one engine
+    :class:`~repro.engine.session.Session` (a private one when none is
+    passed), so the evaluation, the design iteration and the exhaustive
+    search share schedules, cost arrays and PACE sequence tables.
+    """
+    session = _resolve_session(session, library)
+    library = session.library
     spec = application_spec(name)
-    program = program or load_application(name)
+    program = program or session.program(name)
     architecture = TargetArchitecture(library=library,
                                       total_area=spec.total_area)
 
-    started = time.perf_counter()
-    result = allocate(program.bsbs, library, area=spec.total_area)
-    cpu_seconds = time.perf_counter() - started
+    result = session.allocate(program.bsbs, spec.total_area)
+    cpu_seconds = result.runtime_seconds
 
-    evaluation = evaluate_allocation(program.bsbs, result.allocation,
-                                     architecture, area_quanta=area_quanta)
-    iterated = design_iteration(program.bsbs, result.allocation,
-                                architecture, area_quanta=area_quanta)
+    evaluation = session.evaluate(program.bsbs, result.allocation,
+                                  architecture, area_quanta=area_quanta)
+    iterated = session.iterate(program.bsbs, result.allocation,
+                               architecture, area_quanta=area_quanta)
     budget = (spec.max_evaluations if max_evaluations is None
               else max_evaluations)
-    best = exhaustive_best_allocation(program.bsbs, architecture,
-                                      max_evaluations=budget,
-                                      area_quanta=best_area_quanta)
+    best = session.exhaustive(program.bsbs, architecture,
+                              max_evaluations=budget,
+                              area_quanta=best_area_quanta)
     # The design-iteration endpoint is also a visited allocation; the
     # "best" reported is the better of the two (the paper's eigen best
     # likewise came from designer experiments, not pure enumeration).
@@ -106,10 +123,16 @@ def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
     )
 
 
-def table1_rows(library=None, names=None, max_evaluations=None):
-    """Measure all Table 1 rows (expensive: runs the exhaustive search)."""
+def table1_rows(library=None, names=None, max_evaluations=None,
+                session=None):
+    """Measure all Table 1 rows (expensive: runs the exhaustive search).
+
+    One session carries across the rows, so shared machinery (compiled
+    programs, restriction analyses) is reused.
+    """
     names = list(names or application_names())
-    return [table1_row(name, library=library,
+    session = _resolve_session(session, library)
+    return [table1_row(name, session=session,
                        max_evaluations=max_evaluations) for name in names]
 
 
@@ -161,7 +184,7 @@ def _fill_to_budget(allocation, library, budget):
 
 
 def fig3_sweep(name="hal", fractions=None, library=None, area_quanta=150,
-               fill=True):
+               fill=True, session=None):
     """Speed-up as a function of the data-path share of the ASIC.
 
     For each target fraction the allocation algorithm runs with the
@@ -171,12 +194,15 @@ def fig3_sweep(name="hal", fractions=None, library=None, area_quanta=150,
     left for controllers.  Figure 3's claim is that both extremes lose:
     a tiny data-path gives many small speed-ups, a huge one leaves no
     controller room for the BSBs that would use it.
-    """
-    from repro.apps.registry import load_application
 
-    library = library or default_library()
+    The sweep shares one engine session across fractions: every budget
+    re-examines the same BSBs, so urgencies, schedules and cost arrays
+    carry over from point to point.
+    """
+    session = _resolve_session(session, library)
+    library = session.library
     spec = application_spec(name)
-    program = load_application(name)
+    program = session.program(name)
     architecture = TargetArchitecture(library=library,
                                       total_area=spec.total_area)
     fractions = list(fractions or
@@ -185,13 +211,13 @@ def fig3_sweep(name="hal", fractions=None, library=None, area_quanta=150,
     points = []
     for fraction in fractions:
         budget = fraction * spec.total_area
-        result = allocate(program.bsbs, library, area=budget)
+        result = session.allocate(program.bsbs, budget)
         allocation = result.allocation
         if fill:
             allocation = _fill_to_budget(allocation, library, budget)
-        evaluation = evaluate_allocation(program.bsbs, allocation,
-                                         architecture,
-                                         area_quanta=area_quanta)
+        evaluation = session.evaluate(program.bsbs, allocation,
+                                      architecture,
+                                      area_quanta=area_quanta)
         points.append({
             "fraction": fraction,
             "datapath_area": evaluation.datapath_area,
@@ -217,7 +243,8 @@ def render_fig3(points, name="hal"):
 # ----------------------------------------------------------------------
 # S51: section 5.1 — optimistic controller estimation
 # ----------------------------------------------------------------------
-def s51_controller_rows(name, library=None, area_fraction=0.6):
+def s51_controller_rows(name, library=None, area_fraction=0.6,
+                        session=None):
     """Per-BSB optimistic ECA vs actual (list-schedule) controller area.
 
     Section 5.1: the ASAP-based estimate is optimistic, so the real
@@ -231,13 +258,12 @@ def s51_controller_rows(name, library=None, area_fraction=0.6):
     (60% of the Table 1 area by default) — the regime the paper's
     estimate actually operates in.
     """
-    from repro.apps.registry import load_application
-
-    library = library or default_library()
+    session = _resolve_session(session, library)
+    library = session.library
     spec = application_spec(name)
-    program = load_application(name)
-    result = allocate(program.bsbs, library,
-                      area=area_fraction * spec.total_area)
+    program = session.program(name)
+    result = session.allocate(program.bsbs,
+                              area_fraction * spec.total_area)
     rows = []
     for bsb in program.bsbs:
         if not len(bsb.dfg):
@@ -269,18 +295,18 @@ def render_s51(rows, name):
 # ----------------------------------------------------------------------
 # T1n: the man/eigen design-iteration fix
 # ----------------------------------------------------------------------
-def design_iteration_report(name, library=None, area_quanta=150):
+def design_iteration_report(name, library=None, area_quanta=150,
+                            session=None):
     """Run the reduce-only iteration and report every accepted step."""
-    from repro.apps.registry import load_application
-
-    library = library or default_library()
+    session = _resolve_session(session, library)
+    library = session.library
     spec = application_spec(name)
-    program = load_application(name)
+    program = session.program(name)
     architecture = TargetArchitecture(library=library,
                                       total_area=spec.total_area)
-    result = allocate(program.bsbs, library, area=spec.total_area)
-    iterated = design_iteration(program.bsbs, result.allocation,
-                                architecture, area_quanta=area_quanta)
+    result = session.allocate(program.bsbs, spec.total_area)
+    iterated = session.iterate(program.bsbs, result.allocation,
+                               architecture, area_quanta=area_quanta)
     return {
         "name": name,
         "initial_speedup": iterated.initial_evaluation.speedup,

@@ -15,7 +15,7 @@ from repro.sched.alap import alap_schedule
 from repro.sched.schedule import Schedule, latency_table
 
 
-def list_schedule(dfg, allocation, library):
+def list_schedule(dfg, allocation, library, priority=None, latencies=None):
     """Schedule ``dfg`` under the unit counts of ``allocation``.
 
     Args:
@@ -24,6 +24,11 @@ def list_schedule(dfg, allocation, library):
             :class:`~repro.core.rmap.RMap` or plain dict).
         library: The resource library defining which resource executes
             each operation type and its latency.
+        priority: Optional precomputed priority mapping
+            uid -> (ALAP start, uid); the engine passes the one derived
+            from its memoised ASAP/ALAP intervals so repeated schedules
+            of the same DFG skip the ALAP run.
+        latencies: Optional precomputed latency table (uid -> steps).
 
     Returns:
         A complete :class:`~repro.sched.schedule.Schedule`.
@@ -33,7 +38,8 @@ def list_schedule(dfg, allocation, library):
             zero instance count (the BSB cannot execute in hardware).
         ResourceError: If the library lacks a resource for some type.
     """
-    latencies = latency_table(dfg, library=library)
+    if latencies is None:
+        latencies = latency_table(dfg, library=library)
     schedule = Schedule(dfg, latencies)
     if not len(dfg):
         return schedule
@@ -54,8 +60,10 @@ def list_schedule(dfg, allocation, library):
                 "allocation has no %r instance; DFG %r cannot run in "
                 "hardware" % (resource_of[op.uid], dfg.name))
 
-    alap = alap_schedule(dfg, library=library)
-    priority = {op.uid: (alap.start(op), op.uid) for op in dfg.operations()}
+    if priority is None:
+        alap = alap_schedule(dfg, library=library)
+        priority = {op.uid: (alap.start(op), op.uid)
+                    for op in dfg.operations()}
 
     remaining_preds = {op.uid: len(dfg.predecessors(op))
                        for op in dfg.operations()}

@@ -1,0 +1,166 @@
+"""Tests for the prunable SequenceTable and the PACE DP rewrite."""
+
+import math
+
+import pytest
+
+import repro.partition.pace as pace_module
+from repro.partition.communication import sequence_communication_time
+from repro.partition.model import BSBCost, TargetArchitecture
+from repro.partition.pace import (
+    SequenceTable,
+    _quantize,
+    _quantized_by_last,
+    pace_partition,
+)
+
+
+def make_cost(name, sw, hw, area, profile=1, reads=(), writes=()):
+    return BSBCost(name=name, profile_count=profile, sw_time=float(sw),
+                   hw_time=None if hw is None else float(hw),
+                   controller_area=float(area),
+                   reads=frozenset(reads), writes=frozenset(writes))
+
+
+@pytest.fixture
+def architecture(library):
+    return TargetArchitecture(library=library, total_area=10000.0,
+                              comm_cycles_per_word=4.0)
+
+
+@pytest.fixture
+def costs():
+    return [
+        make_cost("a", 500, 100, 60, profile=5,
+                  reads={"x"}, writes={"y"}),
+        make_cost("b", 900, 200, 80, profile=5,
+                  reads={"y"}, writes={"z"}),
+        make_cost("c", 100, 90, 40, profile=1,
+                  reads={"z", "w"}, writes={"v"}),
+        make_cost("d", 50, None, 10, profile=1,
+                  reads={"v"}, writes={"u"}),
+        make_cost("e", 700, 150, 120, profile=3,
+                  reads={"u"}, writes={"t"}),
+    ]
+
+
+def reference_tables(costs, architecture, available_area):
+    """The seed's from-scratch sequence enumeration, kept as the oracle."""
+    count = len(costs)
+    tables = {}
+    for first in range(count):
+        if not costs[first].movable:
+            continue
+        area = 0.0
+        for last in range(first, count):
+            cost = costs[last]
+            if not cost.movable:
+                break
+            area += cost.controller_area
+            if area > available_area:
+                break
+            segment = costs[first:last + 1]
+            comm = sequence_communication_time(segment, architecture)
+            gain = sum(c.sw_time - c.hw_time for c in segment) - comm
+            tables[(first, last)] = (gain, area)
+    return tables
+
+
+class TestSequenceTable:
+    @pytest.mark.parametrize("available", [50.0, 100.0, 150.0, 1000.0])
+    def test_matches_reference(self, costs, architecture, available):
+        table = SequenceTable(costs, architecture)
+        assert table.entries(available) == \
+            reference_tables(costs, architecture, available)
+
+    def test_growing_queries_extend_in_place(self, costs, architecture):
+        table = SequenceTable(costs, architecture)
+        small = dict(table.entries(80.0))
+        assert small == reference_tables(costs, architecture, 80.0)
+        large = table.entries(500.0)
+        assert large == reference_tables(costs, architecture, 500.0)
+        assert table.horizon == 500.0
+
+    def test_shrinking_queries_prune(self, costs, architecture):
+        table = SequenceTable(costs, architecture)
+        table.entries(1000.0)
+        entries = len(table)
+        pruned = table.entries(90.0)
+        assert pruned == reference_tables(costs, architecture, 90.0)
+        # Pruning does not discard the already-built entries.
+        assert len(table) == entries
+
+    def test_unmovable_breaks_rows(self, costs, architecture):
+        table = SequenceTable(costs, architecture)
+        entries = table.entries(10000.0)
+        assert (0, 3) not in entries       # crosses the unmovable "d"
+        assert (3, 3) not in entries       # "d" itself
+        assert (4, 4) in entries
+
+    def test_positive_entries_consistent(self, costs, architecture):
+        table = SequenceTable(costs, architecture)
+        entries = table.entries(1000.0)
+        positive = table.positive_entries(1000.0)
+        assert {(first, last) for last, first, _, _ in positive} == \
+            {key for key, (gain, _) in entries.items() if gain > 0}
+        for last, first, gain, area in positive:
+            assert entries[(first, last)] == (gain, area)
+
+
+class TestQuantize:
+    def test_exact_multiples_do_not_round_up(self):
+        assert _quantize(3.0, 1.0) == 3
+        assert _quantize(300.0, 100.0) == 3
+
+    def test_float_noise_above_boundary_forgiven(self):
+        # The old int(area / quantum + 0.999999999) bumped this to 257.
+        assert _quantize(256.00000000001, 1.0) == 256
+
+    def test_real_excess_still_rounds_up(self):
+        assert _quantize(256.01, 1.0) == 257
+        assert _quantize(3.5, 1.0) == 4
+
+    def test_minimum_one_quantum(self):
+        assert _quantize(0.001, 1.0) == 1
+        assert _quantize(0.0, 1.0) == 1
+
+    def test_uses_true_ceiling(self):
+        for area in (0.1, 1.0, 1.5, 7.25, 1234.5):
+            assert _quantize(area, 0.5) == max(1, math.ceil(area / 0.5))
+
+    def test_dp_grouping_inlines_the_same_quantization(self):
+        # _quantized_by_last inlines _quantize for speed; this pins the
+        # two implementations together so they cannot drift.
+        areas = [0.001, 0.5, 1.0, 3.0, 3.5, 256.00000000001, 256.01,
+                 300.0, 1234.5]
+        positive = [(0, index, 1.0, area)
+                    for index, area in enumerate(areas)]
+        for quantum in (0.5, 1.0, 100.0):
+            grouped = _quantized_by_last(positive, quantum, 1)
+            assert [needed for _, _, needed in grouped[0]] == \
+                [_quantize(area, quantum) for area in areas]
+
+
+class TestDpPathEquality:
+    @pytest.mark.parametrize("available", [100.0, 180.0, 260.0, 310.0])
+    def test_numpy_and_python_paths_identical(self, costs, architecture,
+                                              available, monkeypatch):
+        if pace_module._np is None:
+            pytest.skip("numpy unavailable")
+        # Force both paths over the same instance regardless of size.
+        monkeypatch.setattr(pace_module, "_NUMPY_DP_MIN_BSBS", 0)
+        vectorised = pace_partition(costs, architecture, available,
+                                    area_quanta=57)
+        monkeypatch.setattr(pace_module, "_np", None)
+        plain = pace_partition(costs, architecture, available,
+                               area_quanta=57)
+        assert vectorised == plain
+
+    def test_shared_table_matches_fresh(self, costs, architecture):
+        table = SequenceTable(costs, architecture)
+        for available in (310.0, 260.0, 100.0):
+            shared = pace_partition(costs, architecture, available,
+                                    area_quanta=80, sequence_table=table)
+            fresh = pace_partition(costs, architecture, available,
+                                   area_quanta=80)
+            assert shared == fresh

@@ -22,6 +22,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig3", "--app", "doom"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.apps is None
+        assert args.fractions == [0.5, 0.75, 1.0]
+        assert args.policies == ["none"]
+        assert args.workers == 1
+
+    def test_sweep_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "--apps", "hal", "man", "--fractions", "0.6", "1.0",
+             "--policies", "none", "balanced", "--workers", "2"])
+        assert args.apps == ["hal", "man"]
+        assert args.fractions == [0.6, 1.0]
+        assert args.policies == ["none", "balanced"]
+        assert args.workers == 2
+
+    def test_sweep_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--policies", "greedy"])
+
 
 class TestCommands:
     def test_apps_command(self, capsys):
@@ -88,3 +108,37 @@ class TestExtensionCommands:
         assert main(["export", "--app", "hal", "--what", "dfg"]) == 0
         output = capsys.readouterr().out
         assert "hal_B3" in output  # the integration loop body
+
+
+class TestSweepCommand:
+    def test_sweep_single_app(self, capsys):
+        assert main(["sweep", "--apps", "hal",
+                     "--fractions", "0.6", "1.0"]) == 0
+        output = capsys.readouterr().out
+        assert "Design-space sweep" in output
+        assert "hal" in output
+        assert "best point" in output
+        assert "engine cache" in output
+
+    def test_sweep_with_policy_axis(self, capsys):
+        assert main(["sweep", "--apps", "hal", "--fractions", "0.8",
+                     "--policies", "none", "balanced"]) == 0
+        output = capsys.readouterr().out
+        assert "designated" in output
+        assert "balanced" in output
+
+    def test_sweep_rejects_zero_workers(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--apps", "hal", "--workers", "0"])
+
+    def test_sweep_rejects_bad_fraction(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--apps", "hal", "--fractions", "-0.5"])
+
+    def test_sweep_rejects_empty_fractions(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--apps", "hal", "--fractions"])
+
+    def test_sweep_rejects_empty_policies(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--apps", "hal", "--policies"])
