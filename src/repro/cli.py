@@ -11,6 +11,10 @@ Usage (after ``pip install -e .``)::
     lycos-repro allocate --app hal  # just run Algorithm 1, with trace
     lycos-repro sweep --apps hal man --fractions 0.5 1.0 --workers 4
                                     # engine-cached design-space sweep
+    lycos-repro sweep --apps hal --cache-dir .lycos-cache
+                                    # persistent store: reruns are warm
+    lycos-repro cache info --cache-dir .lycos-cache
+                                    # inspect / clear the store
 
 or ``python -m repro <command>``.
 """
@@ -52,6 +56,12 @@ def build_parser():
                         help="subset of benchmarks (default: all four)")
     table1.add_argument("--budget", type=int, default=None,
                         help="override the exhaustive-search budget")
+    table1.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the exhaustive "
+                             "search (default: serial)")
+    table1.add_argument("--cache-dir", default=None,
+                        help="persistent engine store directory "
+                             "(reruns replay cached stages from disk)")
 
     fig3 = commands.add_parser(
         "fig3", help="regenerate Figure 3's data-path budget sweep")
@@ -109,11 +119,26 @@ def build_parser():
                        help="PACE area resolution (default: %(default)s)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (default: serial)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="persistent engine store directory shared "
+                            "by all workers; a second run replays the "
+                            "pipeline stages from disk")
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear a persistent engine store")
+    cache.add_argument("action", choices=["info", "clear"],
+                       help="info: per-stage entry counts and sizes; "
+                            "clear: delete every shard")
+    cache.add_argument("--cache-dir", required=True,
+                       help="store directory to operate on")
     return parser
 
 
 def cmd_table1(args):
-    rows = table1_rows(names=args.apps, max_evaluations=args.budget)
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    rows = table1_rows(names=args.apps, max_evaluations=args.budget,
+                       workers=args.workers, cache_dir=args.cache_dir)
     print(render_table1(rows))
     for row in rows:
         print()
@@ -243,7 +268,7 @@ def cmd_sweep(args):
         raise SystemExit("--fractions must be positive")
     if not args.policies:
         raise SystemExit("--policies needs at least one value")
-    session = Session()
+    session = Session(cache_dir=args.cache_dir)
     points = []
     for app in (args.apps or application_names()):
         spec = application_spec(app)
@@ -271,9 +296,44 @@ def cmd_sweep(args):
     print("\nbest point: %s area %.0f policy %s -> SU %.0f%%"
           % (best.point.app, best.point.area,
              best.point.policy or "designated", best.speedup))
-    if args.workers == 1:
-        print("\nengine cache:")
-        print(session.stats.summary())
+    # Worker accounting is merged into the parent session, so the
+    # summary is real for parallel sweeps too.
+    print("\nengine cache:")
+    print(session.stats.summary())
+    stats = session.stats
+    print("overall hit rate: %.1f%% (%d hits / %d lookups)"
+          % (100.0 * stats.overall_hit_rate(), stats.hit_count(),
+             stats.hit_count() + stats.miss_count()))
+
+
+def cmd_cache(args):
+    import os
+
+    from repro.engine.store import CacheStore
+
+    store = CacheStore(args.cache_dir)
+    if not os.path.isdir(store.root):
+        # Never create the directory from an inspection command — a
+        # typo'd path should stay visible, not become an empty store.
+        print("no store directory at %s" % store.root)
+        return
+    if args.action == "clear":
+        removed = store.clear()
+        print("cleared %d shard(s) from %s" % (removed, store.root))
+        return
+    report = store.info()
+    if not report:
+        print("empty store at %s" % store.root)
+        return
+    total_entries = 0
+    total_bytes = 0
+    for stage in sorted(report):
+        entries, size = report[stage]
+        total_entries += entries
+        total_bytes += size
+        print("%-12s %7d entries  %9d bytes" % (stage, entries, size))
+    print("%-12s %7d entries  %9d bytes" % ("total", total_entries,
+                                            total_bytes))
 
 
 def cmd_export(args):
@@ -306,6 +366,7 @@ _COMMANDS = {
     "overheads": cmd_overheads,
     "export": cmd_export,
     "sweep": cmd_sweep,
+    "cache": cmd_cache,
 }
 
 

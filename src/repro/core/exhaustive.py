@@ -9,11 +9,16 @@ The search space is the cross product of per-resource counts from zero
 up to the ASAP-parallelism restriction caps.  The paper's footnote notes
 the eigen benchmark has about a million allocations and could not be
 exhausted; :func:`exhaustive_best_allocation` therefore accepts a
-``max_evaluations`` budget and an even-stride sampling mode for such
-spaces.
+``max_evaluations`` budget and switches to seeded random sampling for
+such spaces.  With ``workers`` > 1 the candidate stream fans out over
+worker processes in contiguous chunks; each worker scans its chunk
+exactly the way the serial loop would, and the parent reduces the
+chunk winners with the same deterministic :func:`_better` tournament —
+so the parallel result is bit-identical to the serial one.
 """
 
 import itertools
+import multiprocessing
 import random
 from dataclasses import dataclass, field
 
@@ -28,7 +33,9 @@ def allocation_space(bsbs, library, restrictions=None):
     """(resource names, per-resource count ranges) of the search space.
 
     Only resources some BSB actually needs are enumerated; counts range
-    from 0 to the restriction cap of each resource.
+    from 0 to the restriction cap of each resource — a resource capped
+    at 0 contributes only the count 0, so the search never visits
+    allocations that violate the ASAP restriction caps.
     """
     if restrictions is None:
         restrictions = asap_restrictions(bsbs, library)
@@ -36,7 +43,7 @@ def allocation_space(bsbs, library, restrictions=None):
     for bsb in bsbs:
         needed = needed | required_resources(bsb, library)
     names = needed.names()
-    ranges = [range(0, max(1, restrictions[name]) + 1) for name in names]
+    ranges = [range(0, restrictions[name] + 1) for name in names]
     return names, ranges
 
 
@@ -68,22 +75,101 @@ def enumerate_allocations(bsbs, library, restrictions=None, stride=1):
                                if count})
 
 
+def _random_allocation_stream(names, ranges, seed):
+    """The unbounded seeded draw stream both sampling paths consume.
+
+    One definition keeps :func:`sample_allocations` and
+    :func:`_draw_feasible_samples` on the *same* sequence of draws —
+    their documented correspondence is load-bearing for reproducible
+    sampled results, so neither re-implements the expression.
+    """
+    generator = random.Random(seed)
+    while True:
+        yield RMap._unchecked({name: value for name, value in
+                               ((name, generator.randrange(len(counts)))
+                                for name, counts in zip(names, ranges))
+                               if value})
+
+
 def sample_allocations(bsbs, library, count, restrictions=None, seed=1998):
     """Yield ``count`` pseudo-random allocations from the space.
 
     Sampling is uniform and reproducible (fixed seed); duplicates are
     possible for tiny spaces but the caller only cares about the best
     evaluation found.  Used when the space is too large to exhaust —
-    the situation the paper's eigen footnote describes.
+    the situation the paper's eigen footnote describes.  (The budgeted
+    search itself draws through :func:`_draw_feasible_samples`, which
+    adds dedup and area-feasibility filtering on top of this same
+    stream.)
     """
     names, ranges = allocation_space(bsbs, library,
                                      restrictions=restrictions)
-    generator = random.Random(seed)
-    for _ in range(count):
-        yield RMap._unchecked({name: value for name, value in
-                               ((name, generator.randrange(len(counts)))
-                                for name, counts in zip(names, ranges))
-                               if value})
+    yield from itertools.islice(
+        _random_allocation_stream(names, ranges, seed), count)
+
+
+def _enumerate_slice(names, ranges, start, stop):
+    """Allocations ``start <= index < stop`` of the lexicographic space.
+
+    Identical to ``islice(enumerate_allocations(...), start, stop)``
+    but O(1) to position: the start index is decoded into per-resource
+    counts (mixed radix, last resource fastest — the
+    ``itertools.product`` convention) and an odometer increments from
+    there, so a worker chunk deep in a ~10^6-allocation space does not
+    build and discard a prefix of RMaps just to reach its slice.
+    """
+    caps = [len(counts) - 1 for counts in ranges]
+    digits = []
+    remainder = start
+    for cap in reversed(caps):
+        remainder, digit = divmod(remainder, cap + 1)
+        digits.append(digit)
+    digits.reverse()
+    for _ in range(stop - start):
+        yield RMap._unchecked({name: digit for name, digit
+                               in zip(names, digits) if digit})
+        for axis in range(len(digits) - 1, -1, -1):
+            if digits[axis] < caps[axis]:
+                digits[axis] += 1
+                break
+            digits[axis] = 0
+
+
+#: Draw-attempt budget multiplier for the sampled search: with heavy
+#: area infeasibility or a small distinct-feasible population the draw
+#: loop must terminate even though the evaluation budget cannot be met.
+_SAMPLE_ATTEMPT_FACTOR = 50
+
+
+def _draw_feasible_samples(names, ranges, budget, unit_areas, total_area,
+                           space, seed=1998):
+    """``budget`` distinct, area-feasible random allocations.
+
+    Infeasible draws are *replaced* (drawing continues until the budget
+    is met), duplicates are redrawn without being counted, and the loop
+    gives up once every distinct allocation has been seen or an attempt
+    cap is hit — whichever comes first.  Returns ``(candidates,
+    skipped_infeasible)`` where the second element counts the distinct
+    infeasible allocations that were discarded along the way.
+    """
+    stream = _random_allocation_stream(names, ranges, seed)
+    seen = set()
+    candidates = []
+    skipped_infeasible = 0
+    attempts = 0
+    limit = max(budget * _SAMPLE_ATTEMPT_FACTOR, budget + 1000)
+    while len(candidates) < budget and attempts < limit \
+            and len(seen) < space:
+        attempts += 1
+        allocation = next(stream)
+        if allocation in seen:
+            continue
+        seen.add(allocation)
+        if allocation.area_from(unit_areas) > total_area:
+            skipped_infeasible += 1
+            continue
+        candidates.append(allocation)
+    return candidates, skipped_infeasible
 
 
 @dataclass
@@ -93,9 +179,16 @@ class ExhaustiveResult:
     Attributes:
         best_allocation: Allocation with the highest PACE speed-up.
         best_evaluation: Its full :class:`AllocationEvaluation`.
-        evaluations: Number of allocations evaluated.
+        evaluations: Number of allocations actually evaluated.
         space: Total size of the allocation space.
-        sampled: True when stride sampling was used.
+        sampled: True when the space exceeded the evaluation budget and
+            seeded pseudo-random sampling (not full enumeration, and
+            not stride sampling) supplied the candidates.
+        skipped_infeasible: Distinct candidates discarded without
+            evaluation because their data-path area alone exceeded the
+            ASIC area.  On the sampled path these were redrawn, so
+            ``evaluations`` still meets the budget whenever enough
+            feasible allocations exist.
         history: Optional list of (allocation, speedup) pairs.
     """
 
@@ -104,19 +197,62 @@ class ExhaustiveResult:
     evaluations: int
     space: int
     sampled: bool
+    skipped_infeasible: int = 0
     history: list = field(default_factory=list)
+
+
+def _scan_candidates(candidates, bsbs, architecture, area_quanta,
+                     keep_history, session, unit_areas, check_area):
+    """The inner evaluation loop, shared by the serial path and every
+    parallel worker so both scan a candidate stream identically.
+
+    Returns (best allocation, best evaluation, evaluations,
+    skipped_infeasible, history).
+    """
+    library = architecture.library
+    # remember="partitions": each candidate is visited exactly once, so
+    # storing one whole evaluation per candidate would grow the session
+    # cache linearly for ~zero in-process hits; schedules, cost arrays
+    # and sequence tables still collapse across candidates.  PACE DP
+    # results *are* remembered when a persistent store backs the
+    # session — a warm restart replays them from disk — and dropped
+    # otherwise.
+    remember = "partitions" if (session.store is not None) else False
+    best_eval = None
+    best_allocation = None
+    evaluations = 0
+    skipped_infeasible = 0
+    history = []
+    for allocation in candidates:
+        if check_area and \
+                allocation.area_from(unit_areas) > architecture.total_area:
+            skipped_infeasible += 1
+            continue
+        evaluation = evaluate_allocation(bsbs, allocation, architecture,
+                                         area_quanta=area_quanta,
+                                         cache=session.cache,
+                                         remember=remember)
+        evaluations += 1
+        if keep_history:
+            history.append((allocation, evaluation.speedup))
+        if best_eval is None or _better(evaluation, best_eval, library):
+            best_eval = evaluation
+            best_allocation = allocation
+    return (best_allocation, best_eval, evaluations, skipped_infeasible,
+            history)
 
 
 def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
                                max_evaluations=None, area_quanta=200,
-                               keep_history=False, session=None):
+                               keep_history=False, session=None,
+                               workers=1):
     """Search the allocation space for the best-speed-up allocation.
 
-    When the space exceeds ``max_evaluations``, that many pseudo-random
-    allocations are evaluated instead (the result is then marked
-    ``sampled`` — matching the paper's treatment of eigen, where the
-    "best" allocation came from numerous experiments rather than full
-    enumeration).
+    When the space exceeds ``max_evaluations``, distinct feasible
+    allocations are drawn pseudo-randomly (seeded, reproducible) until
+    the budget is met — the result is then marked ``sampled``, matching
+    the paper's treatment of eigen, where the "best" allocation came
+    from numerous experiments rather than full enumeration.
 
     Every candidate is evaluated through an engine
     :class:`~repro.engine.session.Session` (a private one when none is
@@ -124,48 +260,68 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
     allocations onto the few distinct schedules, cost arrays and PACE
     sequence tables they actually induce.  A shared session lets the
     search reuse work done by earlier evaluations of the same BSBs —
-    and vice versa.
+    and vice versa; a session opened with ``cache_dir`` additionally
+    persists that work across process restarts.
+
+    ``workers`` > 1 splits the candidate stream into contiguous chunks
+    scanned by worker processes (each holding a session of its own,
+    sharing the parent's persistent store when there is one).  The
+    chunk winners are reduced with the deterministic :func:`_better`
+    tournament in chunk order and the per-worker cache accounting is
+    merged into the parent session's stats, so the parallel search is
+    bit-identical to — just faster than — the serial one.
     """
     if session is None:
         from repro.engine.session import Session
 
         session = Session(library=architecture.library)
+    if workers < 1:
+        raise AllocationError("workers must be >= 1, got %r" % (workers,))
     library = architecture.library
+    # Register the BSBs with the session's persistent store (and
+    # hydrate their entries) no matter how the search was entered —
+    # with explicit restrictions the session.restrictions() path below
+    # is skipped, and without this the store would sit inert.
+    session._adopt(bsbs, library=library)
     if restrictions is None:
         restrictions = session.restrictions(bsbs, library=library)
-    total = space_size(bsbs, library, restrictions=restrictions)
+    names, ranges = allocation_space(bsbs, library,
+                                     restrictions=restrictions)
+    total = 1
+    for counts in ranges:
+        total *= len(counts)
+    unit_areas = {name: library.area_of(name) for name in names}
     sampled = (max_evaluations is not None and total > max_evaluations)
+
+    skipped_infeasible = 0
     if sampled:
-        candidates = sample_allocations(bsbs, library, max_evaluations,
-                                        restrictions=restrictions)
+        candidates, skipped_infeasible = _draw_feasible_samples(
+            names, ranges, max_evaluations, unit_areas,
+            architecture.total_area, total)
+        workload = len(candidates)
     else:
         candidates = enumerate_allocations(bsbs, library,
                                            restrictions=restrictions)
+        workload = total
 
-    space_names, _ = allocation_space(bsbs, library,
-                                      restrictions=restrictions)
-    unit_areas = {name: library.area_of(name) for name in space_names}
-    best_eval = None
-    best_allocation = None
-    evaluations = 0
-    history = []
-    for allocation in candidates:
-        if allocation.area_from(unit_areas) > architecture.total_area:
-            continue
-        # remember=False: each candidate is visited exactly once, so
-        # storing one whole evaluation per candidate would grow the
-        # session cache linearly for ~zero hits; schedules, cost arrays
-        # and sequence tables still collapse across candidates.
-        evaluation = evaluate_allocation(bsbs, allocation, architecture,
-                                         area_quanta=area_quanta,
-                                         cache=session.cache,
-                                         remember=False)
-        evaluations += 1
-        if keep_history:
-            history.append((allocation, evaluation.speedup))
-        if best_eval is None or _better(evaluation, best_eval, library):
-            best_eval = evaluation
-            best_allocation = allocation
+    if workers > 1 and workload > 1:
+        outcome = _parallel_scan(
+            bsbs, architecture, restrictions, area_quanta, keep_history,
+            session, unit_areas, sampled, candidates, workload,
+            min(workers, workload))
+    else:
+        outcome = _scan_candidates(candidates, bsbs, architecture,
+                                   area_quanta, keep_history, session,
+                                   unit_areas, check_area=not sampled)
+    (best_allocation, best_eval, evaluations, skipped_scanning,
+     history) = outcome
+    skipped_infeasible += skipped_scanning
+    # Persist what this search learned (worker deltas included) right
+    # away — searches are long and a crash should not lose them.  For a
+    # fully warm search the flush skips itself; callers batching many
+    # searches on one session pay one shard rewrite per search that
+    # actually computed something new.
+    session.save_store()
 
     if best_eval is None:
         raise AllocationError("no feasible allocation fits the ASIC area")
@@ -175,6 +331,7 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
         evaluations=evaluations,
         space=total,
         sampled=sampled,
+        skipped_infeasible=skipped_infeasible,
         history=history,
     )
 
@@ -185,3 +342,114 @@ def _better(candidate, incumbent, library):
         return candidate.speedup > incumbent.speedup
     return (candidate.allocation.area(library)
             < incumbent.allocation.area(library))
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing for the parallel candidate scan
+# ----------------------------------------------------------------------
+#: Chunks handed out per worker: more than one so a lucky worker that
+#: finishes early picks up another slice instead of idling, while the
+#: chunks stay contiguous (the reduction depends on chunk order, not on
+#: completion order, so load balancing never affects the result).
+_CHUNKS_PER_WORKER = 4
+
+_WORKER_SCAN_CONTEXT = None
+
+
+def _parallel_scan(bsbs, architecture, restrictions, area_quanta,
+                   keep_history, session, unit_areas, sampled,
+                   candidates, workload, workers):
+    """Fan the candidate stream out over a pool; reduce chunk winners.
+
+    Chunks are contiguous slices of the exact stream the serial loop
+    would scan — index ranges re-enumerated inside each worker for the
+    enumerated search (shipping ~10^6 RMaps would swamp the pipes), the
+    pre-drawn candidate slices themselves for the sampled search.
+    """
+    chunk_count = min(workload, workers * _CHUNKS_PER_WORKER)
+    bounds = [(index * workload) // chunk_count
+              for index in range(chunk_count + 1)]
+    if sampled:
+        specs = [("list", candidates[start:stop])
+                 for start, stop in zip(bounds, bounds[1:])
+                 if stop > start]
+    else:
+        specs = [("range", (start, stop))
+                 for start, stop in zip(bounds, bounds[1:])
+                 if stop > start]
+    cache_dir = None if session.store is None else session.store.root
+    # Spill the parent's cache first: work the session already did
+    # (allocations, evaluations, earlier searches) reaches the workers
+    # through their hydration instead of being recomputed per worker.
+    session.save_store()
+    with multiprocessing.Pool(
+            processes=workers,
+            initializer=_scan_worker_init,
+            initargs=(bsbs, architecture, restrictions, area_quanta,
+                      keep_history, cache_dir)) as pool:
+        results = pool.map(_scan_worker_chunk, specs, chunksize=1)
+
+    best_eval = None
+    best_allocation = None
+    evaluations = 0
+    skipped_infeasible = 0
+    history = []
+    library = architecture.library
+    for (chunk_allocation, chunk_eval, chunk_evaluations, chunk_skipped,
+         chunk_history, stats_delta, store_delta) in results:
+        session.stats.merge(stats_delta)
+        if session.store is not None and store_delta:
+            session.store.absorb_delta(store_delta)
+        evaluations += chunk_evaluations
+        skipped_infeasible += chunk_skipped
+        history.extend(chunk_history)
+        if chunk_eval is None:
+            continue
+        if best_eval is None or _better(chunk_eval, best_eval, library):
+            best_eval = chunk_eval
+            best_allocation = chunk_allocation
+    return (best_allocation, best_eval, evaluations, skipped_infeasible,
+            history)
+
+
+def _scan_worker_init(bsbs, architecture, restrictions, area_quanta,
+                      keep_history, cache_dir):
+    global _WORKER_SCAN_CONTEXT
+    from repro.engine.session import Session
+
+    session = Session(library=architecture.library, cache_dir=cache_dir)
+    session._adopt(bsbs)
+    names, ranges = allocation_space(bsbs, architecture.library,
+                                     restrictions=restrictions)
+    unit_areas = {name: architecture.library.area_of(name)
+                  for name in names}
+    _WORKER_SCAN_CONTEXT = (bsbs, architecture, area_quanta,
+                            keep_history, session, unit_areas,
+                            names, ranges)
+
+
+def _scan_worker_chunk(spec):
+    """Scan one contiguous chunk; ship the winner and accounting back."""
+    (bsbs, architecture, area_quanta, keep_history, session, unit_areas,
+     names, ranges) = _WORKER_SCAN_CONTEXT
+    kind, payload = spec
+    if kind == "range":
+        start, stop = payload
+        candidates = _enumerate_slice(names, ranges, start, stop)
+        check_area = True
+    else:
+        candidates = payload
+        check_area = False
+    before = session.stats.snapshot()
+    outcome = _scan_candidates(candidates, bsbs, architecture,
+                               area_quanta, keep_history, session,
+                               unit_areas, check_area=check_area)
+    # New cache entries ship back stable-encoded; the parent session —
+    # the store's one writer — spills them in its final flush.
+    store_delta = None if session.store is None \
+        else session.store.export_delta(session.cache)
+    from repro.engine.cache import CacheStats
+
+    return outcome + (CacheStats.delta(before,
+                                       session.stats.snapshot()),
+                      store_delta)

@@ -8,6 +8,9 @@ Layers:
 * :mod:`repro.engine.design_point` — immutable coordinates of one
   design-space point (:class:`DesignPoint`) and its outcome
   (:class:`PointResult`).
+* :mod:`repro.engine.store` — the content-addressed persistent spill
+  (:class:`CacheStore`): stage entries re-keyed by content fingerprints
+  and shared across processes and machines through a ``cache_dir``.
 * :mod:`repro.engine.session` — the :class:`Session` facade tying the
   stages together, with the ``explore``/``explore_grid`` batch API
   over ``multiprocessing``.
@@ -22,6 +25,7 @@ from repro.engine.design_point import DesignPoint, PointResult, POLICY_NAMES
 
 __all__ = [
     "CacheStats",
+    "CacheStore",
     "DesignPoint",
     "EvalCache",
     "POLICY_NAMES",
@@ -36,5 +40,9 @@ def __getattr__(name):
         from repro.engine import session
 
         return getattr(session, name)
+    if name == "CacheStore":
+        from repro.engine.store import CacheStore
+
+        return CacheStore
     raise AttributeError("module %r has no attribute %r"
                          % (__name__, name))

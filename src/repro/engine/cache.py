@@ -65,6 +65,38 @@ class CacheStats:
         return {stage: (self.hit_count(stage), self.miss_count(stage))
                 for stage in self.stages()}
 
+    def merge(self, snapshot):
+        """Add another accounting's ``snapshot()`` into this one.
+
+        The batch APIs fan work out over processes whose caches never
+        come back; their counters do, and merging them here is what
+        keeps ``session.stats`` honest for parallel runs.
+        """
+        for stage, (hits, misses) in snapshot.items():
+            if hits:
+                self.hits[stage] = self.hits.get(stage, 0) + hits
+            if misses:
+                self.misses[stage] = self.misses.get(stage, 0) + misses
+        return self
+
+    @staticmethod
+    def delta(before, after):
+        """Per-stage (hits, misses) growth between two snapshots."""
+        result = {}
+        for stage, (hits, misses) in after.items():
+            old_hits, old_misses = before.get(stage, (0, 0))
+            grown = (hits - old_hits, misses - old_misses)
+            if grown != (0, 0):
+                result[stage] = grown
+        return result
+
+    def overall_hit_rate(self):
+        """Hits / lookups across every stage; 0.0 before any lookup."""
+        lookups = self.hit_count() + self.miss_count()
+        if not lookups:
+            return 0.0
+        return self.hit_count() / lookups
+
     def summary(self):
         """One human-readable line per stage."""
         lines = []
@@ -101,9 +133,9 @@ class EvalCache:
         eca: (bsb uid, library id, technology id) -> estimated area.
         restrictions: (bsb uids, library id) -> restriction RMap.
         tables: (cost ids, comm cost) -> SequenceTable.
-        partitions: (table id, available area, quanta) -> PartitionResult
-            — distinct allocations whose cost arrays and available
-            controller areas coincide share one PACE DP run.
+        partitions: ((cost ids, comm cost), available area, quanta) ->
+            PartitionResult — distinct allocations whose cost arrays and
+            available controller areas coincide share one PACE DP run.
         evals: full-evaluation key -> AllocationEvaluation.
         allocs: Algorithm 1 memo used by the engine Session.
         sched_inputs: (bsb uid, library id) -> (priority map, latency

@@ -53,12 +53,44 @@ class Session:
     Attributes:
         library: The resource library every stage runs against.
         cache: The shared :class:`~repro.engine.cache.EvalCache`.
+        store: Optional :class:`~repro.engine.store.CacheStore` backing
+            the cache with a content-addressed on-disk spill
+            (``cache_dir``); ``None`` keeps the session process-local.
     """
 
-    def __init__(self, library=None):
+    def __init__(self, library=None, cache_dir=None):
         self.library = library if library is not None else default_library()
         self.cache = EvalCache()
         self._programs = {}
+        self.store = None
+        if cache_dir is not None:
+            from repro.engine.store import CacheStore
+
+            self.store = CacheStore(cache_dir)
+            self.store.register(library=self.library)
+            self.store.hydrate(self.cache)
+
+    def _adopt(self, bsbs, library=None):
+        """Register a BSB array with the store and hydrate its entries.
+
+        Called by every entry point that accepts BSBs, *before* any
+        cache lookup, so persisted entries are already translated onto
+        this process's uids when the lookup happens.
+        """
+        if self.store is not None:
+            changed = self.store.register(bsbs=bsbs, library=library)
+            if changed:
+                self.store.hydrate(self.cache)
+        return bsbs
+
+    def save_store(self):
+        """Spill the cache to the persistent store; entries written.
+
+        A no-op (returning 0) for sessions without a ``cache_dir``.
+        """
+        if self.store is None:
+            return 0
+        return self.store.flush(self.cache)
 
     # ------------------------------------------------------------------
     # Stage accessors (each memoised by its true inputs)
@@ -75,6 +107,7 @@ class Session:
             self.stats.miss("program")
             program = load_application(app)
             self._programs[app] = program
+            self._adopt(program.bsbs)
         else:
             self.stats.hit("program")
         return program
@@ -91,6 +124,7 @@ class Session:
     def restrictions(self, bsbs, library=None):
         """Memoised ASAP-parallelism restrictions of a BSB array."""
         library = library if library is not None else self.library
+        self._adopt(bsbs, library=library)
         return cached_restrictions(bsbs, library, cache=self.cache)
 
     def allocate(self, bsbs, area, policy=None, restrictions=None,
@@ -102,6 +136,7 @@ class Session:
         for the paper's designated-unit algorithm.
         """
         library = library if library is not None else self.library
+        self._adopt(bsbs, library=library)
         if restrictions is not None:
             if policy is not None:
                 # Module selection caps per *type*, not per resource —
@@ -140,6 +175,7 @@ class Session:
     def evaluate(self, bsbs, allocation, architecture, area_quanta=400,
                  overhead_model=None):
         """Memoised PACE evaluation of one allocation."""
+        self._adopt(bsbs, library=architecture.library)
         return evaluate_allocation(bsbs, allocation, architecture,
                                    area_quanta=area_quanta,
                                    cache=self.cache,
@@ -150,6 +186,7 @@ class Session:
         """The reduce-only design iteration, on this session's cache."""
         from repro.core.iteration import design_iteration
 
+        self._adopt(bsbs, library=architecture.library)
         return design_iteration(bsbs, allocation, architecture,
                                 max_steps=max_steps,
                                 area_quanta=area_quanta, session=self,
@@ -157,14 +194,21 @@ class Session:
 
     def exhaustive(self, bsbs, architecture, restrictions=None,
                    max_evaluations=None, area_quanta=200,
-                   keep_history=False):
-        """The exhaustive allocation search, on this session's cache."""
+                   keep_history=False, workers=1):
+        """The exhaustive allocation search, on this session's cache.
+
+        ``workers`` > 1 fans the candidate stream out over processes
+        (see :func:`~repro.core.exhaustive.exhaustive_best_allocation`);
+        the result is bit-identical to the serial search and the
+        per-worker cache accounting is merged into ``self.stats``.
+        """
         from repro.core.exhaustive import exhaustive_best_allocation
 
+        self._adopt(bsbs, library=architecture.library)
         return exhaustive_best_allocation(
             bsbs, architecture, restrictions=restrictions,
             max_evaluations=max_evaluations, area_quanta=area_quanta,
-            keep_history=keep_history, session=self)
+            keep_history=keep_history, session=self, workers=workers)
 
     # ------------------------------------------------------------------
     # The batch API
@@ -194,17 +238,44 @@ class Session:
         points fan out over a ``multiprocessing`` pool; every worker
         process holds one session whose cache is shared across all the
         points that worker receives (per-process caches — the workers
-        do not share memory with each other or with this session).
+        do not share memory with each other or with this session,
+        although a session opened with ``cache_dir`` shares its
+        persistent store with the workers).  Each worker ships its
+        hit/miss accounting back with its results, and the merged
+        counters land in ``self.stats`` — parallel sweeps report the
+        same real numbers a serial run would.
         """
         points = [self._coerce_point(point) for point in points]
         if workers <= 1 or len(points) <= 1:
-            return [self.evaluate_point(point) for point in points]
+            results = [self.evaluate_point(point) for point in points]
+            self.save_store()  # same persistence contract as parallel
+            return results
         processes = min(workers, len(points))
+        # Contiguous chunks, one pool task each: a worker evaluates a
+        # whole chunk and ships the chunk's new store entries back as
+        # one delta (workers never write shards — the parent is the
+        # store's only writer), so persistence costs one export per
+        # chunk instead of one per point.
         chunksize = max(1, (len(points) + processes - 1) // processes)
+        chunks = [points[start:start + chunksize]
+                  for start in range(0, len(points), chunksize)]
+        cache_dir = None if self.store is None else self.store.root
+        # Spill first so workers hydrate whatever this session already
+        # computed instead of starting from the store's last state.
+        self.save_store()
         with multiprocessing.Pool(processes=processes,
                                   initializer=_worker_init,
-                                  initargs=(self.library,)) as pool:
-            return pool.map(_worker_point, points, chunksize=chunksize)
+                                  initargs=(self.library, cache_dir)) \
+                as pool:
+            outcomes = pool.map(_worker_point_chunk, chunks, chunksize=1)
+        results = []
+        for chunk_results, stats_delta, store_delta in outcomes:
+            self.stats.merge(stats_delta)
+            if self.store is not None and store_delta:
+                self.store.absorb_delta(store_delta)
+            results.extend(chunk_results)
+        self.save_store()
+        return results
 
     def explore_grid(self, apps, areas=(None,), policies=(None,),
                      quanta=(150,), workers=1):
@@ -236,9 +307,13 @@ class Session:
 
 
 def explore_grid(apps, areas=(None,), policies=(None,), quanta=(150,),
-                 workers=1, library=None):
-    """One-shot :meth:`Session.explore_grid` on a private session."""
-    return Session(library=library).explore_grid(
+                 workers=1, library=None, cache_dir=None):
+    """One-shot :meth:`Session.explore_grid` on a private session.
+
+    ``explore`` persists to the ``cache_dir`` store itself, so no
+    explicit save is needed here (or by any other explore caller).
+    """
+    return Session(library=library, cache_dir=cache_dir).explore_grid(
         apps, areas=areas, policies=policies, quanta=quanta,
         workers=workers)
 
@@ -249,10 +324,28 @@ def explore_grid(apps, areas=(None,), policies=(None,), quanta=(150,),
 _WORKER_SESSION = None
 
 
-def _worker_init(library):
+def _worker_init(library, cache_dir=None):
     global _WORKER_SESSION
-    _WORKER_SESSION = Session(library=library)
+    _WORKER_SESSION = Session(library=library, cache_dir=cache_dir)
 
 
-def _worker_point(point):
-    return _WORKER_SESSION.evaluate_point(point)
+def _worker_point_chunk(points):
+    """Evaluate one chunk of points; ships results plus accounting.
+
+    The worker's cache never leaves its process, but its accounting
+    does: the parent merges the per-chunk hit/miss delta so
+    ``session.stats`` reflects the pool's real cache behaviour.  With a
+    persistent store, the chunk's *new* cache entries travel back too
+    (stable-encoded), so the parent — the store's one writer — spills
+    everything in a single final flush instead of every worker racing
+    shard rewrites of its own.
+    """
+    session = _WORKER_SESSION
+    before = session.stats.snapshot()
+    results = [session.evaluate_point(point) for point in points]
+    store_delta = None if session.store is None \
+        else session.store.export_delta(session.cache)
+    from repro.engine.cache import CacheStats
+
+    return (results, CacheStats.delta(before, session.stats.snapshot()),
+            store_delta)

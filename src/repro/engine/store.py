@@ -1,0 +1,682 @@
+"""Content-addressed persistent spill store for :class:`EvalCache`.
+
+The in-memory :class:`~repro.engine.cache.EvalCache` keys its stage
+dicts by process-local identities — BSB uids and ``id()`` pins — which
+are exact within one process lifetime and meaningless outside it.  A
+:class:`CacheStore` gives those entries a durable second life: every
+volatile key is re-keyed by *content fingerprints* (the library's
+signature, the BSB's structural DFG hash, the allocation counts, the
+architecture knobs), the re-keyed stage dicts are spilled to pickle
+shards under a ``--cache-dir``, and a fresh session hydrates them back
+— translating stable keys onto whatever uids and object ids the new
+process happens to hold — so sweeps survive restarts and a store
+directory can be shared across machines.
+
+Translation is schema-driven: :data:`STAGE_SCHEMAS` names, per persisted
+stage, which key slots hold a BSB uid, an object pin, or plain data.
+Stages whose keys or values embed process-local *operation* uids
+(``intervals``, ``sched_inputs``) or live object graphs (``urgency``,
+``tables``) are deliberately not persisted — they are cheap to rebuild
+and would be wrong to ship.
+
+A key is only translated when every fingerprint it references is known
+(registered via :meth:`CacheStore.register`), so partially relevant
+shards hydrate incrementally as applications are loaded.  Unreadable or
+truncated shards — a crashed writer, a corrupted disk — are treated as
+empty and rewritten on the next flush, never raised to the caller.
+
+**Trust boundary**: shards are Python pickles, and unpickling executes
+code the pickle names.  Only open a ``cache_dir`` you (and everyone
+able to write to it) trust — sharing a store across machines means
+sharing it across *mutually trusting* machines, exactly like sharing a
+build cache.  Never point a session at a store directory of unknown
+provenance.
+"""
+
+import contextlib
+import hashlib
+import itertools
+import os
+import pickle
+import tempfile
+import time
+
+from repro.engine.cache import EvalCache
+
+#: Bumped whenever fingerprinting or shard layout changes shape; shards
+#: written by other versions are ignored (and replaced on flush).
+STORE_VERSION = 1
+
+#: Stage name -> key schema.  Slot codes: "uid" (one BSB uid), "uids"
+#: (tuple of BSB uids), "pin" (id() of a pinned library/technology/
+#: overhead object), "data" (plain self-describing values, passed
+#: through).  "*data" matches any number of data slots (the schedule
+#: memo has 3- and 4-slot key variants).
+STAGE_SCHEMAS = {
+    "ops": ("uid", "pin"),
+    "capable": ("uid", "pin"),
+    "sched": ("uid", "*data", "pin"),
+    "sw_times": ("uid", "data"),
+    "furo": ("uid", "pin"),
+    "eca": ("uid", "pin", "pin"),
+    "restrictions": ("uids", "pin"),
+    "cost_plans": ("uids", "pin"),
+    "costs": ("uid", "data", ("pin", "data", "data")),
+    "allocs": ("uids", "data", "data", "data", "pin"),
+    # The trailing pin_or_none is the overhead-model pin: only the
+    # None case translates (overhead models are never registered), so
+    # overhead-charged evaluations deliberately stay process-local.
+    "evals": ("uids", "pin", "data", "data", "data", "data", "data",
+              "data", "pin_or_none"),
+}
+
+#: Stages persisted through the generic schema translation, in hydrate
+#: order.  "partitions" is handled separately: its volatile key embeds
+#: the ids of memoised cost objects, so it can only hydrate after
+#: "costs" (which is why "costs" comes first here).
+PERSISTED_STAGES = tuple(STAGE_SCHEMAS) + ("partitions",)
+
+
+# ----------------------------------------------------------------------
+# Content fingerprints
+# ----------------------------------------------------------------------
+def _digest(payload):
+    """Short stable hex digest of a canonical-repr'able structure."""
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:20]
+
+
+def technology_fingerprint(technology):
+    """Content hash of a :class:`~repro.hwlib.technology.Technology`."""
+    return _digest(("technology", technology.name,
+                    technology.register_area, technology.and_gate_area,
+                    technology.or_gate_area, technology.inverter_area))
+
+
+def library_fingerprint(library):
+    """Content hash of a resource library: every signal the pipeline
+    reads from it (resources, designated units, technology)."""
+    resources = tuple(
+        (resource.name, tuple(sorted(op.value for op in resource.optypes)),
+         resource.area, resource.latency)
+        for resource in library.resources())
+    defaults = tuple(sorted(
+        (optype.value, library.resource_for(optype).name)
+        for optype in library.optypes_covered()))
+    return _digest(("library", library.name, resources, defaults,
+                    technology_fingerprint(library.technology)))
+
+
+def bsb_fingerprint(bsb):
+    """Structural content hash of one leaf BSB.
+
+    Includes the BSB name — it flows into
+    :attr:`~repro.partition.model.BSBCost.name` and from there into
+    reported partitions — so two structurally identical BSBs with
+    different names never alias one store entry.
+    """
+    return _digest(("bsb", bsb.name, bsb.profile_count,
+                    tuple(sorted(bsb.reads)), tuple(sorted(bsb.writes)),
+                    bsb.dfg.structural_signature()))
+
+
+class CacheStore:
+    """A content-addressed on-disk mirror of an :class:`EvalCache`.
+
+    Usage (what :class:`~repro.engine.session.Session` does)::
+
+        store = CacheStore(cache_dir)
+        store.register(library=library)
+        store.register(bsbs=program.bsbs)
+        store.hydrate(cache)       # after each registration
+        ...                        # run the pipeline
+        store.flush(cache)         # spill new entries to disk
+
+    The store never *computes* anything: it only translates between the
+    volatile (uid/id) key space of the live cache and the stable
+    (fingerprint) key space of the shards, in both directions.
+    """
+
+    def __init__(self, root):
+        # The directory is created lazily on first write: a read-only
+        # inspection of a mistyped path must not conjure an empty store
+        # into existence (it would mask the typo for later runs too).
+        self.root = os.fspath(root)
+        # Volatile -> stable: uid/int-token to fingerprint.  The
+        # strong references in _registered keep every fingerprinted
+        # object alive: a collected library could hand its id() to a
+        # different-content successor, which would then inherit the
+        # stale fingerprint and persist entries under the wrong hash.
+        self._uid_fp = {}
+        self._token_fp = {}
+        self._registered = {}
+        # Stable -> volatile: fingerprint to uid / live object.
+        self._fp_uid = {}
+        self._fp_obj = {}
+        # Stage -> {stable key: value}, loaded from disk on first use;
+        # entries leave as they hydrate so each installs exactly once.
+        self._stable = {}
+        # Stage -> cache entry count known to be disk-backed already.
+        # Cache stage dicts are add-only memos, so an unchanged length
+        # since the last sync means there is nothing new to spill and
+        # the (comparatively expensive) shard rewrite can be skipped.
+        self._clean_counts = {}
+        # Stage -> volatile keys installed by hydrate (disk-born, so
+        # export_delta never ships them back) and stage -> number of
+        # cache items already examined by export_delta (add-only dicts
+        # keep insertion order, so the unexamined entries are a suffix).
+        self._hydrated_keys = {}
+        self._export_counts = {}
+        # Stage -> {stable key: value} absorbed from worker deltas;
+        # written out (then dropped) by the next flush.
+        self._absorbed = {}
+
+    # ------------------------------------------------------------------
+    # Registration: teach the store which objects are in play
+    # ------------------------------------------------------------------
+    def register(self, bsbs=None, library=None):
+        """Register live objects; returns True when anything was new."""
+        changed = False
+        if library is not None:
+            changed |= self._register_object(library,
+                                             library_fingerprint(library))
+            changed |= self._register_object(
+                library.technology,
+                technology_fingerprint(library.technology))
+        for bsb in (bsbs if bsbs is not None else ()):
+            if bsb.uid not in self._uid_fp:
+                fingerprint = bsb_fingerprint(bsb)
+                self._uid_fp[bsb.uid] = fingerprint
+                self._fp_uid.setdefault(fingerprint, bsb.uid)
+                changed = True
+        return changed
+
+    def _register_object(self, obj, fingerprint):
+        token = id(obj)
+        if token in self._token_fp:
+            return False
+        self._registered[token] = obj
+        self._token_fp[token] = fingerprint
+        # First registered object wins the decode direction; equal-by-
+        # content duplicates keep their own encode mapping.
+        self._fp_obj.setdefault(fingerprint, obj)
+        return True
+
+    # ------------------------------------------------------------------
+    # Shard I/O
+    # ------------------------------------------------------------------
+    def _shard_path(self, stage):
+        return os.path.join(self.root,
+                            "%s.v%d.pkl" % (stage, STORE_VERSION))
+
+    def _load_shard(self, stage):
+        """The on-disk stable dict of one stage; {} on any damage.
+
+        Partial writes never happen through :meth:`_write_shard` (it
+        replaces atomically), but a crashed writer using another tool,
+        a truncated copy or plain disk corruption must not poison the
+        session — a shard that fails to unpickle is simply empty.
+        """
+        try:
+            with open(self._shard_path(stage), "rb") as handle:
+                data = pickle.load(handle)
+        except FileNotFoundError:
+            return {}
+        except Exception:
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def _write_shard(self, stage, entries):
+        """Atomically replace one stage shard (write-temp + rename)."""
+        directory = self.root
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".%s." % stage, suffix=".tmp", dir=directory)
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(entries, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, self._shard_path(stage))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def _pending(self, stage):
+        if stage not in self._stable:
+            self._stable[stage] = self._load_shard(stage)
+        return self._stable[stage]
+
+    #: Fallback scheme only: how old an ``O_EXCL`` lock file must be
+    #: before it counts as the debris of a crashed writer.  Generous on
+    #: purpose — breaking a *live* writer's lock would cause the very
+    #: lost-update the lock exists to prevent.
+    _LOCK_TIMEOUT_SECONDS = 60.0
+
+    @contextlib.contextmanager
+    def _flush_lock(self):
+        """Serialise flushers sharing one store directory.
+
+        The flush is a read-merge-replace; without mutual exclusion two
+        racing processes would each merge only their own entries into
+        the same base and the second rename would drop the first
+        writer's additions.  Where the platform has ``fcntl`` (every
+        POSIX target) an advisory ``flock`` on a lock file is used: the
+        kernel releases it when the holder dies, so there is no
+        staleness to misjudge and a slow flush can never be evicted
+        mid-write.  Elsewhere, an ``O_EXCL`` lock file with an
+        mtime-age staleness break (stolen via an atomic rename, so at
+        most one waiter ever breaks a given lock) stands in.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        path = os.path.join(self.root, ".flush.lock")
+        try:
+            import fcntl
+        except ImportError:
+            fcntl = None
+        if fcntl is not None:
+            descriptor = os.open(path, os.O_CREAT | os.O_WRONLY)
+            try:
+                fcntl.flock(descriptor, fcntl.LOCK_EX)
+                yield
+            finally:
+                fcntl.flock(descriptor, fcntl.LOCK_UN)
+                os.close(descriptor)
+            return
+        token = ("%d.%d" % (os.getpid(), time.monotonic_ns())).encode()
+        while True:
+            try:
+                descriptor = os.open(path,
+                                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(descriptor, token)
+                os.close(descriptor)
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - os.path.getmtime(path)
+                except OSError:
+                    continue  # holder just released it; retry at once
+                if age > self._LOCK_TIMEOUT_SECONDS:
+                    stolen = path + ".stale"
+                    try:  # atomic steal: only one breaker can win this
+                        os.replace(path, stolen)
+                        os.unlink(stolen)
+                    except OSError:
+                        pass
+                    continue
+                time.sleep(0.02)
+        try:
+            yield
+        finally:
+            # Unlink only a lock this process still owns: if a waiter
+            # judged us stale and stole the lock, the file now belongs
+            # to a successor and deleting it would admit a third
+            # flusher alongside them.
+            try:
+                with open(path, "rb") as handle:
+                    owned = handle.read() == token
+            except OSError:
+                owned = False
+            if owned:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Key translation
+    # ------------------------------------------------------------------
+    def _encode_slot(self, slot, part):
+        if slot == "uid":
+            fingerprint = self._uid_fp.get(part)
+            return (False, None) if fingerprint is None \
+                else (True, fingerprint)
+        if slot == "uids":
+            fps = tuple(self._uid_fp.get(uid) for uid in part)
+            return (False, None) if None in fps else (True, fps)
+        if slot == "pin":
+            fingerprint = self._token_fp.get(part)
+            return (False, None) if fingerprint is None \
+                else (True, fingerprint)
+        if slot == "pin_or_none":
+            if part is None:
+                return True, None
+            fingerprint = self._token_fp.get(part)
+            return (False, None) if fingerprint is None \
+                else (True, fingerprint)
+        if isinstance(slot, tuple):  # nested key (the costs arch key)
+            return self._encode_key(slot, part)
+        return True, part  # "data"
+
+    def _decode_slot(self, slot, part, cache):
+        if slot == "uid":
+            uid = self._fp_uid.get(part)
+            return (False, None) if uid is None else (True, uid)
+        if slot == "uids":
+            uids = tuple(self._fp_uid.get(fp) for fp in part)
+            return (False, None) if None in uids else (True, uids)
+        if slot in ("pin", "pin_or_none"):
+            if slot == "pin_or_none" and part is None:
+                return True, None
+            obj = self._fp_obj.get(part)
+            return (False, None) if obj is None \
+                else (True, cache.pin(obj))
+        if isinstance(slot, tuple):
+            return self._decode_key(slot, part, cache)
+        return True, part
+
+    def _match_schema(self, schema, key):
+        """Expand a "*data" wildcard against the key's actual arity."""
+        if not isinstance(key, tuple):
+            return None
+        if "*data" in schema:
+            star = schema.index("*data")
+            fixed = len(schema) - 1
+            if len(key) < fixed:
+                return None
+            spread = len(key) - fixed
+            schema = (schema[:star] + ("data",) * spread
+                      + schema[star + 1:])
+        return schema if len(schema) == len(key) else None
+
+    def _encode_key(self, schema, key):
+        schema = self._match_schema(schema, key)
+        if schema is None:
+            return False, None
+        out = []
+        for slot, part in zip(schema, key):
+            ok, encoded = self._encode_slot(slot, part)
+            if not ok:
+                return False, None
+            out.append(encoded)
+        return True, tuple(out)
+
+    def _decode_key(self, schema, key, cache):
+        schema = self._match_schema(schema, key)
+        if schema is None:
+            return False, None
+        out = []
+        for slot, part in zip(schema, key):
+            ok, decoded = self._decode_slot(slot, part, cache)
+            if not ok:
+                return False, None
+            out.append(decoded)
+        return True, tuple(out)
+
+    # ------------------------------------------------------------------
+    # Hydrate: disk -> live cache
+    # ------------------------------------------------------------------
+    def hydrate(self, cache):
+        """Install every now-translatable stable entry into ``cache``.
+
+        Returns the number of entries installed.  Entries whose
+        fingerprints are still unknown stay pending for a later call
+        (after more registrations); entries the cache already holds are
+        left alone — a live value always wins over a loaded one, so
+        object identities established this run stay stable.
+        """
+        installed = 0
+        cost_objects = None
+        for stage, schema in STAGE_SCHEMAS.items():
+            pending = self._pending(stage)
+            if not pending:
+                continue
+            target = getattr(cache, stage)
+            done = []
+            grown = 0
+            for stable_key, value in pending.items():
+                ok, volatile_key = self._decode_key(schema, stable_key,
+                                                    cache)
+                if not ok:
+                    continue
+                if volatile_key not in target:
+                    target[volatile_key] = value
+                    grown += 1
+                    self._hydrated_keys.setdefault(stage, set()).add(
+                        volatile_key)
+                done.append(stable_key)
+            for stable_key in done:
+                del pending[stable_key]
+            if grown:
+                installed += grown
+                self._clean_counts[stage] = \
+                    self._clean_counts.get(stage, 0) + grown
+        # Partitions: volatile key ((cost ids...), comm, available,
+        # quanta); resolvable only for cost objects live in this cache.
+        pending = self._pending("partitions")
+        if pending:
+            cost_objects = self._stable_cost_objects(cache)
+            done = []
+            for stable_key, value in pending.items():
+                volatile_key = self._decode_partition_key(stable_key,
+                                                          cost_objects)
+                if volatile_key is None:
+                    continue
+                if volatile_key not in cache.partitions:
+                    cache.partitions[volatile_key] = value
+                    installed += 1
+                    self._clean_counts["partitions"] = \
+                        self._clean_counts.get("partitions", 0) + 1
+                    self._hydrated_keys.setdefault("partitions",
+                                                   set()).add(volatile_key)
+                done.append(stable_key)
+            for stable_key in done:
+                del pending[stable_key]
+        return installed
+
+    def _stable_cost_objects(self, cache):
+        """Mapping stable costs key -> live BSBCost object."""
+        schema = STAGE_SCHEMAS["costs"]
+        objects = {}
+        for volatile_key, cost in cache.costs.items():
+            ok, stable_key = self._encode_key(schema, volatile_key)
+            if ok:
+                objects[stable_key] = cost
+        return objects
+
+    def _decode_partition_key(self, stable_key, cost_objects):
+        if not (isinstance(stable_key, tuple) and len(stable_key) == 4):
+            return None
+        cost_keys, comm, available, quanta = stable_key
+        ids = []
+        for cost_key in cost_keys:
+            cost = cost_objects.get(cost_key)
+            if cost is None:
+                return None
+            ids.append(id(cost))
+        return ((tuple(ids), comm), available, quanta)
+
+    # ------------------------------------------------------------------
+    # Worker deltas: live cache -> parent process
+    # ------------------------------------------------------------------
+    def export_delta(self, cache):
+        """Stable-encoded entries computed since the last export.
+
+        Pool workers cannot be relied on to write the store themselves
+        (their last flush would race the pool teardown, and per-chunk
+        shard rewrites are quadratic), so instead each worker ships the
+        stable form of its *new* entries back with its results and the
+        parent merges them via :meth:`absorb_delta` — one writer, one
+        final flush, nothing lost.  Hydrated (disk-born) entries are
+        excluded, and the examined-suffix pointer ensures each export
+        only *encodes and ships* the entries added since the last one
+        (each export still walks the stage dict to reach the suffix).
+        """
+        delta = {}
+        for stage, schema in STAGE_SCHEMAS.items():
+            encoded = self._export_stage(
+                stage, getattr(cache, stage),
+                lambda key: self._encode_key(schema, key))
+            if encoded:
+                delta[stage] = encoded
+        source = cache.partitions
+        if len(source) > self._export_counts.get("partitions", 0):
+            cost_ids = {id(cost): stable_key for stable_key, cost
+                        in self._stable_cost_objects(cache).items()}
+
+            def encode(volatile_key):
+                stable_key = self._encode_partition_key(volatile_key,
+                                                        cost_ids)
+                return stable_key is not None, stable_key
+
+            encoded = self._export_stage("partitions", source, encode)
+            if encoded:
+                delta["partitions"] = encoded
+        return delta
+
+    def _export_stage(self, stage, source, encode):
+        examined = self._export_counts.get(stage, 0)
+        total = len(source)
+        if total <= examined:
+            return {}
+        hydrated = self._hydrated_keys.get(stage, ())
+        encoded = {}
+        # Add-only dicts keep insertion order, so the unexamined
+        # entries are exactly the suffix past the pointer.
+        suffix = itertools.islice(iter(source.items()), examined, None)
+        for volatile_key, value in suffix:
+            if volatile_key in hydrated:
+                continue
+            ok, stable_key = encode(volatile_key)
+            if ok:
+                encoded[stable_key] = value
+        self._export_counts[stage] = total
+        return encoded
+
+    def absorb_delta(self, delta):
+        """Queue a worker's exported entries for the next flush."""
+        absorbed = 0
+        for stage, entries in delta.items():
+            if stage not in PERSISTED_STAGES or not entries:
+                continue
+            self._absorbed.setdefault(stage, {}).update(entries)
+            absorbed += len(entries)
+        return absorbed
+
+    # ------------------------------------------------------------------
+    # Flush: live cache -> disk
+    # ------------------------------------------------------------------
+    def flush(self, cache):
+        """Spill every translatable cache entry, merging with the disk.
+
+        Flushers sharing one ``--cache-dir`` (the parent plus the pool
+        workers of a sweep or exhaustive search) are serialised by
+        :meth:`_flush_lock`; each one re-reads a shard, merges its own
+        new entries and atomically replaces the file, so no writer's
+        additions are ever lost.  Returns the number of entries
+        written overall.
+        """
+        if not isinstance(cache, EvalCache):
+            raise TypeError("flush() expects an EvalCache, got %r"
+                            % (cache,))
+        if not self._needs_flush(cache):
+            return 0
+        with self._flush_lock():
+            return self._flush_locked(cache)
+
+    def _needs_flush(self, cache):
+        """True when a stage grew or a worker delta awaits writing."""
+        if any(self._absorbed.get(stage)
+               for stage in PERSISTED_STAGES):
+            return True
+        return any(
+            len(getattr(cache, stage)) != self._clean_counts.get(stage, 0)
+            for stage in PERSISTED_STAGES)
+
+    def _flush_locked(self, cache):
+        written = 0
+        for stage, schema in STAGE_SCHEMAS.items():
+            source = getattr(cache, stage)
+            absorbed = self._absorbed.get(stage)
+            if not absorbed and \
+                    len(source) == self._clean_counts.get(stage, 0):
+                continue  # add-only memo, unchanged since last sync
+            merged = self._load_shard(stage)
+            merged.update(self._stable.get(stage, {}))  # still-pending
+            if absorbed:
+                merged.update(absorbed)
+            for volatile_key, value in source.items():
+                ok, stable_key = self._encode_key(schema, volatile_key)
+                if ok:
+                    merged[stable_key] = value
+            if merged:
+                self._write_shard(stage, merged)
+                written += len(merged)
+            self._absorbed.pop(stage, None)
+            self._clean_counts[stage] = len(source)
+        absorbed = self._absorbed.get("partitions")
+        if absorbed or len(cache.partitions) != \
+                self._clean_counts.get("partitions", 0):
+            cost_ids = {id(cost): stable_key for stable_key, cost
+                        in self._stable_cost_objects(cache).items()}
+            merged = self._load_shard("partitions")
+            merged.update(self._stable.get("partitions", {}))
+            if absorbed:
+                merged.update(absorbed)
+            for volatile_key, value in cache.partitions.items():
+                stable_key = self._encode_partition_key(volatile_key,
+                                                        cost_ids)
+                if stable_key is not None:
+                    merged[stable_key] = value
+            if merged:
+                self._write_shard("partitions", merged)
+                written += len(merged)
+            self._absorbed.pop("partitions", None)
+            self._clean_counts["partitions"] = len(cache.partitions)
+        return written
+
+    def _encode_partition_key(self, volatile_key, cost_ids):
+        if not (isinstance(volatile_key, tuple)
+                and len(volatile_key) == 3
+                and isinstance(volatile_key[0], tuple)
+                and len(volatile_key[0]) == 2):
+            return None
+        (ids, comm), available, quanta = volatile_key
+        cost_keys = []
+        for token in ids:
+            stable_key = cost_ids.get(token)
+            if stable_key is None:
+                return None
+            cost_keys.append(stable_key)
+        return (tuple(cost_keys), comm, available, quanta)
+
+    # ------------------------------------------------------------------
+    # Inspection / maintenance (the CLI's ``cache`` subcommand)
+    # ------------------------------------------------------------------
+    def info(self):
+        """Per-stage (entries, bytes) of the on-disk store."""
+        report = {}
+        for stage in PERSISTED_STAGES:
+            path = self._shard_path(stage)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            report[stage] = (len(self._load_shard(stage)), size)
+        return report
+
+    def clear(self):
+        """Delete every shard of this store version; returns count."""
+        removed = 0
+        for stage in PERSISTED_STAGES:
+            try:
+                os.unlink(self._shard_path(stage))
+                removed += 1
+            except OSError:
+                pass
+        self._stable.clear()
+        self._clean_counts.clear()
+        self._absorbed.clear()
+        return removed
+
+    def __repr__(self):
+        # Counts shard *files* only — info() unpickles every shard,
+        # which is far too much work (and pickle execution) for a repr.
+        suffix = ".v%d.pkl" % STORE_VERSION
+        try:
+            shards = sum(1 for name in os.listdir(self.root)
+                         if name.endswith(suffix))
+        except OSError:
+            shards = 0
+        return "CacheStore(root=%r, shards=%d)" % (self.root, shards)

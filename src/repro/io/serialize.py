@@ -83,6 +83,25 @@ def evaluation_to_dict(evaluation):
     }
 
 
+def exhaustive_result_to_dict(result):
+    """Serialise an :class:`~repro.core.exhaustive.ExhaustiveResult`.
+
+    The history is deliberately dropped (it can be candidate-count
+    sized); the embedded best evaluation uses the same layout as
+    :func:`evaluation_to_dict`.
+    """
+    return {
+        "kind": "exhaustive-result",
+        "version": FORMAT_VERSION,
+        "best_allocation": allocation_to_dict(result.best_allocation),
+        "best_evaluation": evaluation_to_dict(result.best_evaluation),
+        "evaluations": result.evaluations,
+        "space": result.space,
+        "sampled": result.sampled,
+        "skipped_infeasible": result.skipped_infeasible,
+    }
+
+
 def save_json(document, path):
     """Write a serialised document to ``path`` (pretty-printed)."""
     with open(path, "w") as handle:

@@ -27,6 +27,7 @@ class DFG:
         self._topo_cache = None
         self._pred_cache = {}
         self._succ_cache = {}
+        self._signature_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -71,6 +72,7 @@ class DFG:
         self._topo_cache = None
         self._pred_cache.clear()
         self._succ_cache.clear()
+        self._signature_cache = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -171,6 +173,29 @@ class DFG:
     def operations_of_type(self, optype):
         """All operations of a given type, in uid order."""
         return [op for op in self.operations() if op.optype == optype]
+
+    def structural_signature(self):
+        """A uid-independent, hashable description of the graph.
+
+        Operations are numbered by creation order (uids are assigned
+        from a monotone counter, so sorted-uid order is creation order)
+        and edges reported against those dense indices.  Two DFGs built
+        by the same deterministic construction — the same application
+        compiled in two different processes, say — therefore share one
+        signature even though their operation uids differ, which is
+        what lets the persistent engine store address schedules and
+        costs by content instead of by process-local identity.
+        """
+        if self._signature_cache is None:
+            index_of = {uid: index for index, uid in
+                        enumerate(sorted(self._ops))}
+            nodes = tuple((op.optype.value, op.value)
+                          for op in self.operations())
+            edges = tuple(sorted((index_of[producer], index_of[consumer])
+                                 for producer, consumer
+                                 in self._graph.edges))
+            self._signature_cache = (self.name, nodes, edges)
+        return self._signature_cache
 
     # ------------------------------------------------------------------
     # Derived graphs

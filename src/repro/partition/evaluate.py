@@ -96,7 +96,18 @@ def evaluate_allocation(bsbs, allocation, architecture, area_quanta=400,
             grow by one entry per candidate for ~zero hits; the
             schedule/cost/table collapsing — where the actual reuse is
             — still applies, and lookups still hit entries remembered
-            by other callers.
+            by other callers.  The intermediate value ``"partitions"``
+            remembers PACE results but not whole evaluations: what a
+            search backed by a persistent store wants, since the DP
+            runs are exactly what a warm restart can skip.
+
+    Note on resolutions: ``area_quanta`` defaults differ deliberately
+    across entry points — 400 here (one-off evaluations favour
+    fidelity), 200 in :func:`~repro.core.exhaustive
+    .exhaustive_best_allocation` and 150 in the engine's
+    :class:`~repro.engine.design_point.DesignPoint` (searches trade
+    resolution for throughput over many candidates).  Results are only
+    comparable across calls made at one resolution.
     """
     allocation = RMap._coerce(allocation)
     engine_cache = cache if isinstance(cache, EvalCache) else None
@@ -143,10 +154,12 @@ def evaluate_allocation(bsbs, allocation, architecture, area_quanta=400,
     partition_key = None
     if engine_cache is not None:
         # A PartitionResult depends only on (costs, communication model,
-        # available area, quanta) — the table already encodes the first
-        # two, so allocations that differ only in resources no BSB uses
-        # while their data-path areas coincide share one DP run.
-        partition_key = (id(sequence_table), available, area_quanta)
+        # available area, quanta) — the table key already encodes the
+        # first two, so allocations that differ only in resources no BSB
+        # uses while their data-path areas coincide share one DP run.
+        # Keyed by the cost-id tuple rather than the table's own id so a
+        # persistent store can re-key the entry by cost content hashes.
+        partition_key = (table_key, available, area_quanta)
         partition = engine_cache.partitions.get(partition_key)
         if partition is None:
             engine_cache.stats.miss("partition")
@@ -165,6 +178,6 @@ def evaluate_allocation(bsbs, allocation, architecture, area_quanta=400,
         partition=partition,
         overhead_area=overhead_area,
     )
-    if engine_cache is not None and remember:
+    if engine_cache is not None and remember is True:
         engine_cache.evals[key] = evaluation
     return evaluation

@@ -68,13 +68,17 @@ class Table1Row:
 
 
 def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
-               max_evaluations=None, program=None, session=None):
+               max_evaluations=None, program=None, session=None,
+               workers=1):
     """Measure one Table 1 row for the named benchmark.
 
     All stages run through one engine
     :class:`~repro.engine.session.Session` (a private one when none is
     passed), so the evaluation, the design iteration and the exhaustive
     search share schedules, cost arrays and PACE sequence tables.
+    ``workers`` > 1 fans the exhaustive search out over processes (the
+    row is bit-identical either way); a session opened with a
+    ``cache_dir`` makes the whole row restart-warm.
     """
     session = _resolve_session(session, library)
     library = session.library
@@ -94,7 +98,8 @@ def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
               else max_evaluations)
     best = session.exhaustive(program.bsbs, architecture,
                               max_evaluations=budget,
-                              area_quanta=best_area_quanta)
+                              area_quanta=best_area_quanta,
+                              workers=workers)
     # The design-iteration endpoint is also a visited allocation; the
     # "best" reported is the better of the two (the paper's eigen best
     # likewise came from designer experiments, not pure enumeration).
@@ -124,16 +129,23 @@ def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
 
 
 def table1_rows(library=None, names=None, max_evaluations=None,
-                session=None):
+                session=None, workers=1, cache_dir=None):
     """Measure all Table 1 rows (expensive: runs the exhaustive search).
 
     One session carries across the rows, so shared machinery (compiled
-    programs, restriction analyses) is reused.
+    programs, restriction analyses) is reused.  ``cache_dir`` (only
+    honoured when no session is passed) opens that session over a
+    persistent store, so a rerun replays the expensive stages from
+    disk; ``workers`` parallelises each row's exhaustive search.
     """
     names = list(names or application_names())
+    if session is None and cache_dir is not None:
+        session = Session(library=library, cache_dir=cache_dir)
     session = _resolve_session(session, library)
-    return [table1_row(name, session=session,
+    rows = [table1_row(name, session=session, workers=workers,
                        max_evaluations=max_evaluations) for name in names]
+    session.save_store()
+    return rows
 
 
 def render_table1(rows):

@@ -64,6 +64,61 @@ class TestSpace:
             assert allocation["adder"] <= 3
             assert allocation["multiplier"] <= 2
 
+    def test_slice_enumeration_matches_full_enumeration(self, library,
+                                                        small_app):
+        """The workers' O(1)-positioning slice enumerator must yield
+        exactly the slice of the lexicographic stream it names."""
+        from itertools import islice
+
+        from repro.core.exhaustive import _enumerate_slice
+
+        names, ranges = allocation_space(small_app, library)
+        full = list(enumerate_allocations(small_app, library))
+        for start, stop in ((0, 12), (0, 5), (5, 12), (7, 9), (11, 12),
+                            (4, 4)):
+            sliced = list(_enumerate_slice(names, ranges, start, stop))
+            assert sliced == list(islice(iter(full), start, stop)), \
+                (start, stop)
+
+    def test_sampling_stream_shared_with_budgeted_draw(self, library,
+                                                       small_app):
+        """_draw_feasible_samples consumes the same seeded stream as
+        sample_allocations (the documented correspondence)."""
+        from repro.core.exhaustive import _draw_feasible_samples
+
+        names, ranges = allocation_space(small_app, library)
+        unit_areas = {name: library.area_of(name) for name in names}
+        candidates, _ = _draw_feasible_samples(
+            names, ranges, 4, unit_areas, float("inf"), 12)
+        raw = list(sample_allocations(small_app, library, 20))
+        deduped = []
+        for allocation in raw:
+            if allocation not in deduped:
+                deduped.append(allocation)
+        assert candidates == deduped[:4]
+
+    def test_zero_cap_restriction_is_honoured(self, library, small_app):
+        """Regression: a resource capped at 0 must only take count 0.
+
+        ``range(0, max(1, cap) + 1)`` let a zero-capped resource reach
+        count 1, so the search visited allocations violating the ASAP
+        restriction caps.
+        """
+        restrictions = {"multiplier": 0, "adder": 2}
+        names, ranges = allocation_space(small_app, library,
+                                         restrictions=restrictions)
+        by_name = dict(zip(names, ranges))
+        assert list(by_name["multiplier"]) == [0]
+        assert list(by_name["adder"]) == [0, 1, 2]
+        for allocation in enumerate_allocations(small_app, library,
+                                                restrictions=restrictions):
+            assert allocation["multiplier"] == 0
+        for allocation in sample_allocations(small_app, library, 40,
+                                             restrictions=restrictions):
+            assert allocation["multiplier"] == 0
+        assert space_size(small_app, library,
+                          restrictions=restrictions) == 3
+
 
 class TestSearch:
     def test_finds_best_small_space(self, library, small_app):
@@ -99,6 +154,53 @@ class TestSearch:
                                             area_quanta=100)
         assert result.sampled
         assert result.evaluations <= 5
+
+    def test_sampled_budget_is_met_despite_infeasible_draws(self,
+                                                            library,
+                                                            small_app):
+        """Regression: infeasible samples were skipped *without*
+        replacement, silently shrinking the evaluation budget.  The
+        area below rules out part of the space, yet the search must
+        still deliver the full budget of feasible evaluations."""
+        architecture = TargetArchitecture(library=library,
+                                          total_area=2100.0)
+        feasible = sum(
+            1 for allocation in enumerate_allocations(small_app, library)
+            if allocation.area(library) <= architecture.total_area)
+        budget = feasible - 2
+        assert budget >= 2, "fixture drifted: need a few feasible points"
+        result = exhaustive_best_allocation(small_app, architecture,
+                                            max_evaluations=budget,
+                                            area_quanta=100)
+        assert result.sampled
+        assert result.evaluations == budget
+        assert result.skipped_infeasible > 0
+
+    def test_sampled_budget_larger_than_feasible_population(self, library,
+                                                            small_app):
+        """When fewer distinct feasible allocations exist than the
+        budget asks for, the draw loop terminates after exhausting the
+        space instead of spinning forever."""
+        architecture = TargetArchitecture(library=library,
+                                          total_area=2100.0)
+        feasible = sum(
+            1 for allocation in enumerate_allocations(small_app, library)
+            if allocation.area(library) <= architecture.total_area)
+        result = exhaustive_best_allocation(small_app, architecture,
+                                            max_evaluations=11,
+                                            area_quanta=100)
+        assert result.sampled
+        assert result.evaluations == min(11, feasible)
+
+    def test_exhaustive_counts_skipped_infeasible(self, library,
+                                                  small_app):
+        architecture = TargetArchitecture(library=library,
+                                          total_area=2100.0)
+        result = exhaustive_best_allocation(small_app, architecture,
+                                            area_quanta=100)
+        assert not result.sampled
+        assert (result.evaluations + result.skipped_infeasible
+                == result.space)
 
     def test_history_recorded(self, library, small_app):
         architecture = TargetArchitecture(library=library,

@@ -1,0 +1,411 @@
+"""Tests for the content-addressed persistent engine store.
+
+The store's contract is exactness: a warm session hydrated from disk
+must produce results bit-identical to a cold computation, across
+process boundaries (simulated here by rebuilding applications with
+fresh uids), through parallel workers, and in the face of corrupted or
+truncated shard files.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.apps.registry import application_spec
+from repro.core.exhaustive import exhaustive_best_allocation
+from repro.engine import CacheStore, DesignPoint, Session
+from repro.engine.store import (
+    STORE_VERSION,
+    bsb_fingerprint,
+    library_fingerprint,
+    technology_fingerprint,
+)
+from repro.hwlib.library import ResourceLibrary, default_library
+from repro.ir.ops import OpType
+from repro.partition.model import TargetArchitecture
+
+from tests.conftest import make_leaf, make_parallel_dfg
+
+
+def make_small_app():
+    """Two BSBs built fresh on every call — distinct uids, one content."""
+    muls = make_leaf(make_parallel_dfg(OpType.MUL, 2, "muls"),
+                     profile=50, name="muls", reads={"a"}, writes={"b"})
+    adds = make_leaf(make_parallel_dfg(OpType.ADD, 3, "adds"),
+                     profile=20, name="adds", reads={"b"}, writes={"c"})
+    return [muls, adds]
+
+
+def assert_same_result(one, other):
+    assert one.best_allocation == other.best_allocation
+    assert one.evaluations == other.evaluations
+    assert one.space == other.space
+    assert one.sampled == other.sampled
+    assert one.skipped_infeasible == other.skipped_infeasible
+    first, second = one.best_evaluation, other.best_evaluation
+    assert first.allocation == second.allocation
+    assert first.datapath_area == second.datapath_area
+    assert (first.available_controller_area
+            == second.available_controller_area)
+    assert first.partition.speedup == second.partition.speedup
+    assert first.partition.hybrid_time == second.partition.hybrid_time
+    assert first.partition.sw_time_all == second.partition.sw_time_all
+    assert first.partition.hw_sequences == second.partition.hw_sequences
+    assert first.partition.hw_names == second.partition.hw_names
+
+
+class TestFingerprints:
+    def test_bsb_fingerprint_is_content_based(self):
+        first, second = make_small_app(), make_small_app()
+        assert first[0].uid != second[0].uid
+        assert bsb_fingerprint(first[0]) == bsb_fingerprint(second[0])
+        assert bsb_fingerprint(first[0]) != bsb_fingerprint(first[1])
+
+    def test_bsb_name_is_part_of_the_fingerprint(self):
+        plain = make_leaf(make_parallel_dfg(OpType.ADD, 2, "twin"),
+                          profile=5, name="left")
+        renamed = make_leaf(make_parallel_dfg(OpType.ADD, 2, "twin"),
+                            profile=5, name="right")
+        assert bsb_fingerprint(plain) != bsb_fingerprint(renamed)
+
+    def test_profile_count_changes_the_fingerprint(self):
+        one = make_leaf(make_parallel_dfg(OpType.ADD, 2, "p"), profile=5,
+                        name="p")
+        other = make_leaf(make_parallel_dfg(OpType.ADD, 2, "p"), profile=6,
+                          name="p")
+        assert bsb_fingerprint(one) != bsb_fingerprint(other)
+
+    def test_library_fingerprint_by_value(self):
+        assert (library_fingerprint(default_library())
+                == library_fingerprint(default_library()))
+        slow = ResourceLibrary(name="lycos-default")
+        slow.add_single("adder", OpType.ADD, area=120.0, latency=3)
+        assert (library_fingerprint(slow)
+                != library_fingerprint(default_library()))
+
+    def test_technology_fingerprint(self):
+        library = default_library()
+        assert (technology_fingerprint(library.technology)
+                == technology_fingerprint(library.technology))
+
+
+class TestColdWarmParity:
+    def test_warm_exhaustive_bit_identical_across_uids(self, tmp_path):
+        """A second 'process' (fresh uids) replays the stored stages."""
+        library = default_library()
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        cold_session = Session(library=library,
+                               cache_dir=str(tmp_path / "store"))
+        cold = exhaustive_best_allocation(make_small_app(), architecture,
+                                          area_quanta=100,
+                                          session=cold_session)
+        # Fresh session + fresh BSB objects: only content hashes match.
+        warm_session = Session(library=default_library(),
+                               cache_dir=str(tmp_path / "store"))
+        warm_arch = TargetArchitecture(library=warm_session.library,
+                                       total_area=6000.0)
+        warm = exhaustive_best_allocation(make_small_app(), warm_arch,
+                                          area_quanta=100,
+                                          session=warm_session)
+        assert_same_result(cold, warm)
+        # Everything expensive must be replayed from disk.
+        assert warm_session.stats.miss_count("cost") == 0
+        assert warm_session.stats.miss_count("partition") == 0
+        assert warm_session.stats.hit_count("partition") > 0
+
+    def test_warm_matches_storeless_serial(self, tmp_path):
+        library = default_library()
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        plain = exhaustive_best_allocation(make_small_app(), architecture)
+        for _ in range(2):  # cold then warm
+            session = Session(library=default_library(),
+                              cache_dir=str(tmp_path / "store"))
+            arch = TargetArchitecture(library=session.library,
+                                      total_area=6000.0)
+            stored = exhaustive_best_allocation(make_small_app(), arch,
+                                                session=session)
+            assert_same_result(plain, stored)
+
+    def test_warm_point_result_bit_identical(self, tmp_path):
+        point = DesignPoint(app="hal")
+        cold_session = Session(cache_dir=str(tmp_path / "store"))
+        cold = cold_session.evaluate_point(point)
+        cold_session.save_store()
+        warm_session = Session(cache_dir=str(tmp_path / "store"))
+        warm = warm_session.evaluate_point(point)
+        assert warm.allocation == cold.allocation
+        assert warm.speedup == cold.speedup
+        assert warm.datapath_area == cold.datapath_area
+        assert warm.hw_names == cold.hw_names
+        assert warm_session.stats.hit_count("alloc") == 1
+        assert warm_session.stats.hit_count("eval") == 1
+        assert warm_session.stats.miss_count("alloc") == 0
+        assert warm_session.stats.miss_count("eval") == 0
+
+    def test_explicit_restrictions_still_use_the_store(self, tmp_path):
+        """Regression: passing restrictions= skipped session
+        .restrictions(), which was the only place the BSBs got
+        registered — the store then silently persisted nothing."""
+        from repro.core.restrictions import asap_restrictions
+
+        store_dir = str(tmp_path / "store")
+        for attempt in range(2):
+            library = default_library()
+            app = make_small_app()
+            session = Session(library=library, cache_dir=store_dir)
+            architecture = TargetArchitecture(library=library,
+                                              total_area=6000.0)
+            result = exhaustive_best_allocation(
+                app, architecture,
+                restrictions=asap_restrictions(app, library),
+                session=session)
+            if attempt == 0:
+                cold = result
+        assert_same_result(cold, result)
+        assert session.stats.miss_count("cost") == 0
+        assert session.stats.miss_count("partition") == 0
+
+    def test_sampled_search_warm_parity(self, tmp_path):
+        spec = application_spec("man")
+        for attempt in range(2):
+            session = Session(cache_dir=str(tmp_path / "store"))
+            program = session.program("man")
+            architecture = TargetArchitecture(
+                library=session.library, total_area=spec.total_area)
+            result = session.exhaustive(program.bsbs, architecture,
+                                        max_evaluations=60,
+                                        area_quanta=100)
+            if attempt == 0:
+                cold = result
+        assert_same_result(cold, result)
+
+
+class TestStoreRobustness:
+    def _poison(self, store_dir, payload):
+        os.makedirs(store_dir, exist_ok=True)
+        written = []
+        for stage in ("costs", "evals", "partitions"):
+            path = os.path.join(store_dir,
+                                "%s.v%d.pkl" % (stage, STORE_VERSION))
+            with open(path, "wb") as handle:
+                handle.write(payload)
+            written.append(path)
+        return written
+
+    def test_corrupt_shards_are_ignored_and_repaired(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self._poison(store_dir, b"not a pickle at all")
+        library = default_library()
+        session = Session(library=library, cache_dir=store_dir)
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        result = exhaustive_best_allocation(make_small_app(), architecture,
+                                            session=session)
+        plain = exhaustive_best_allocation(make_small_app(), architecture)
+        assert_same_result(plain, result)
+        # The flush at the end of the search replaced the poison.
+        with open(os.path.join(
+                store_dir, "costs.v%d.pkl" % STORE_VERSION), "rb") as f:
+            assert isinstance(pickle.load(f), dict)
+
+    def test_truncated_shard_recovers(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        # First write a real store...
+        session = Session(cache_dir=store_dir)
+        architecture = TargetArchitecture(library=session.library,
+                                          total_area=6000.0)
+        exhaustive_best_allocation(make_small_app(), architecture,
+                                   session=session)
+        # ...then simulate a partial write by truncating every shard.
+        for name in os.listdir(store_dir):
+            path = os.path.join(store_dir, name)
+            size = os.path.getsize(path)
+            with open(path, "rb+") as handle:
+                handle.truncate(max(1, size // 2))
+        fresh = Session(cache_dir=store_dir)
+        arch = TargetArchitecture(library=fresh.library,
+                                  total_area=6000.0)
+        result = exhaustive_best_allocation(make_small_app(), arch,
+                                            session=fresh)
+        plain = exhaustive_best_allocation(make_small_app(), architecture)
+        assert_same_result(plain, result)
+
+    def test_non_dict_shard_is_treated_as_empty(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self._poison(store_dir, pickle.dumps([1, 2, 3]))
+        store = CacheStore(store_dir)
+        assert store._load_shard("costs") == {}
+
+    def test_interleaved_flushers_merge_instead_of_clobbering(
+            self, tmp_path):
+        """Two stores over one directory: both writers' entries last."""
+        store_dir = str(tmp_path / "store")
+        first = Session(library=default_library(), cache_dir=store_dir)
+        architecture = TargetArchitecture(library=first.library,
+                                          total_area=6000.0)
+        exhaustive_best_allocation(make_small_app(), architecture,
+                                   session=first)
+        second = Session(library=default_library(), cache_dir=store_dir)
+        other_app = [make_leaf(make_parallel_dfg(OpType.ADD, 2, "solo"),
+                               profile=9, name="solo")]
+        arch2 = TargetArchitecture(library=second.library,
+                                   total_area=6000.0)
+        exhaustive_best_allocation(other_app, arch2, session=second)
+        combined = CacheStore(store_dir)._load_shard("costs")
+        fingerprints = {key[0] for key in combined}
+        assert bsb_fingerprint(other_app[0]) in fingerprints
+        assert bsb_fingerprint(make_small_app()[0]) in fingerprints
+
+    def test_leftover_lock_file_does_not_block_flush(self, tmp_path,
+                                                     monkeypatch):
+        """A crashed writer's lock debris must never wedge the store.
+
+        On POSIX the flock is kernel-released with the dead holder, so
+        the leftover file is uncontended; on the O_EXCL fallback the
+        mtime-age break steals it.  Either way the flush goes through.
+        """
+        store_dir = str(tmp_path / "store")
+        os.makedirs(store_dir)
+        lock_path = os.path.join(store_dir, ".flush.lock")
+        with open(lock_path, "w"):
+            pass  # debris of a crashed writer
+        monkeypatch.setattr(CacheStore, "_LOCK_TIMEOUT_SECONDS", 0.05)
+        session = Session(cache_dir=store_dir)
+        architecture = TargetArchitecture(library=session.library,
+                                          total_area=6000.0)
+        exhaustive_best_allocation(make_small_app(), architecture,
+                                   session=session)
+        assert CacheStore(store_dir).info(), "flush must have gone through"
+
+    def test_read_only_store_never_creates_the_directory(self, tmp_path):
+        store_dir = str(tmp_path / "typo-store")
+        store = CacheStore(store_dir)
+        assert store.info() == {}
+        assert store._load_shard("costs") == {}
+        repr(store)
+        assert not os.path.exists(store_dir)
+
+    def test_info_and_clear(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        session = Session(cache_dir=store_dir)
+        architecture = TargetArchitecture(library=session.library,
+                                          total_area=6000.0)
+        exhaustive_best_allocation(make_small_app(), architecture,
+                                   session=session)
+        store = CacheStore(store_dir)
+        report = store.info()
+        assert report, "expected shards on disk"
+        for entries, size in report.values():
+            assert entries > 0
+            assert size > 0
+        assert store.clear() == len(report)
+        assert store.info() == {}
+
+
+class TestParallelEquivalence:
+    def test_workers_two_exhaustive_equals_serial(self):
+        library = default_library()
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        serial = exhaustive_best_allocation(make_small_app(), architecture,
+                                            area_quanta=100,
+                                            keep_history=True)
+        parallel = exhaustive_best_allocation(make_small_app(),
+                                              architecture,
+                                              area_quanta=100,
+                                              keep_history=True,
+                                              workers=2)
+        assert_same_result(serial, parallel)
+        assert ([(a, s) for a, s in parallel.history]
+                == [(a, s) for a, s in serial.history])
+
+    def test_parallel_merges_worker_stats(self):
+        library = default_library()
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        session = Session(library=library)
+        exhaustive_best_allocation(make_small_app(), architecture,
+                                   session=session, workers=2)
+        # The parent never evaluated anything itself, yet the pool's
+        # accounting must land in its stats.
+        assert session.stats.miss_count("cost") > 0
+        assert session.stats.miss_count("partition") > 0
+
+    def test_explore_parallel_merges_worker_stats(self):
+        session = Session()
+        spec = application_spec("hal")
+        points = [DesignPoint(app="hal", area=f * spec.total_area)
+                  for f in (0.5, 0.75, 1.0)]
+        session.explore(points, workers=2)
+        assert session.stats.miss_count("alloc") == len(points)
+        assert session.stats.miss_count("eval") == len(points)
+
+    def test_parallel_cold_run_persists_worker_entries(self, tmp_path):
+        """Worker-computed entries travel back as deltas and reach the
+        store through the parent's flush — a warm serial rerun must
+        replay them without recomputing."""
+        store_dir = str(tmp_path / "store")
+        library = default_library()
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        cold_session = Session(library=library, cache_dir=store_dir)
+        cold = exhaustive_best_allocation(make_small_app(), architecture,
+                                          session=cold_session, workers=2)
+        warm_session = Session(library=default_library(),
+                               cache_dir=store_dir)
+        warm_arch = TargetArchitecture(library=warm_session.library,
+                                       total_area=6000.0)
+        warm = exhaustive_best_allocation(make_small_app(), warm_arch,
+                                          session=warm_session)
+        assert_same_result(cold, warm)
+        assert warm_session.stats.miss_count("cost") == 0
+        assert warm_session.stats.miss_count("partition") == 0
+
+    def test_parallel_with_shared_store_warm_start(self, tmp_path):
+        """workers=2 over a warm store: identical result, no cost work."""
+        store_dir = str(tmp_path / "store")
+        library = default_library()
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        cold_session = Session(library=library, cache_dir=store_dir)
+        cold = exhaustive_best_allocation(make_small_app(), architecture,
+                                          session=cold_session)
+        warm_session = Session(library=default_library(),
+                               cache_dir=store_dir)
+        warm_arch = TargetArchitecture(library=warm_session.library,
+                                       total_area=6000.0)
+        warm = exhaustive_best_allocation(make_small_app(), warm_arch,
+                                          session=warm_session, workers=2)
+        assert_same_result(cold, warm)
+        assert warm_session.stats.miss_count("cost") == 0
+        assert warm_session.stats.miss_count("partition") == 0
+
+
+class TestSessionStoreLifecycle:
+    def test_save_store_is_noop_without_cache_dir(self):
+        assert Session().save_store() == 0
+
+    def test_workers_must_be_positive(self):
+        from repro.errors import AllocationError
+
+        library = default_library()
+        architecture = TargetArchitecture(library=library,
+                                          total_area=6000.0)
+        with pytest.raises(AllocationError):
+            exhaustive_best_allocation(make_small_app(), architecture,
+                                       workers=0)
+
+    def test_store_isolated_by_version(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        session = Session(cache_dir=store_dir)
+        architecture = TargetArchitecture(library=session.library,
+                                          total_area=6000.0)
+        exhaustive_best_allocation(make_small_app(), architecture,
+                                   session=session)
+        for name in os.listdir(store_dir):
+            if name == ".flush.lock":
+                continue  # the flock file, deliberately left behind
+            assert ".v%d." % STORE_VERSION in name

@@ -142,3 +142,61 @@ class TestSweepCommand:
     def test_sweep_rejects_empty_policies(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--apps", "hal", "--policies"])
+
+    def test_sweep_reports_overall_hit_rate(self, capsys):
+        assert main(["sweep", "--apps", "hal",
+                     "--fractions", "0.7", "0.7"]) == 0
+        output = capsys.readouterr().out
+        assert "overall hit rate:" in output
+
+
+class TestCacheStoreCommands:
+    def test_sweep_warm_rerun_hits_the_store(self, tmp_path, capsys):
+        import re
+
+        store_dir = str(tmp_path / "store")
+        argv = ["sweep", "--apps", "hal",
+                "--fractions", "0.6", "0.8", "1.0",
+                "--cache-dir", store_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        match = re.search(r"overall hit rate: ([0-9.]+)%", output)
+        assert match is not None
+        # 3 alloc + 3 eval hits vs 1 program compile miss.
+        assert float(match.group(1)) > 80.0
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        import os
+
+        store_dir = str(tmp_path / "store")
+        assert main(["cache", "info", "--cache-dir", store_dir]) == 0
+        assert "no store directory" in capsys.readouterr().out
+        assert not os.path.exists(store_dir)  # inspection creates nothing
+        assert main(["sweep", "--apps", "hal", "--fractions", "0.8",
+                     "--cache-dir", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", store_dir]) == 0
+        output = capsys.readouterr().out
+        assert "evals" in output
+        assert "total" in output
+        assert main(["cache", "clear", "--cache-dir", store_dir]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", store_dir]) == 0
+        assert "empty store" in capsys.readouterr().out
+
+    def test_cache_requires_dir(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "info"])
+
+    def test_table1_parser_accepts_workers_and_cache_dir(self):
+        args = build_parser().parse_args(
+            ["table1", "--apps", "hal", "--workers", "2",
+             "--cache-dir", "/tmp/somewhere"])
+        assert args.workers == 2
+        assert args.cache_dir == "/tmp/somewhere"
+
+    def test_table1_rejects_zero_workers(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--apps", "hal", "--workers", "0"])

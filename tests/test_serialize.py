@@ -77,6 +77,28 @@ class TestResultSerialisation:
         assert data["speedup"] == pytest.approx(evaluation.speedup)
         assert data["hw_bsbs"] == evaluation.partition.hw_names
 
+    def test_exhaustive_result_fields(self, library, two_bsbs):
+        import json
+
+        from repro.core.exhaustive import exhaustive_best_allocation
+        from repro.io.serialize import exhaustive_result_to_dict
+
+        architecture = TargetArchitecture(library=library,
+                                          total_area=20000.0)
+        result = exhaustive_best_allocation(two_bsbs, architecture,
+                                            area_quanta=100)
+        data = exhaustive_result_to_dict(result)
+        assert data["kind"] == "exhaustive-result"
+        assert data["evaluations"] == result.evaluations
+        assert data["space"] == result.space
+        assert data["sampled"] is result.sampled
+        assert data["skipped_infeasible"] == result.skipped_infeasible
+        assert (data["best_allocation"]["units"]
+                == result.best_allocation.as_dict())
+        assert data["best_evaluation"]["speedup"] == pytest.approx(
+            result.best_evaluation.speedup)
+        json.dumps(data)  # the document must be JSON-clean
+
 
 class TestFileRoundtrip:
     def test_save_and_load(self, tmp_path, library, two_bsbs):
