@@ -15,8 +15,18 @@ Usage (after ``pip install -e .``)::
                                     # persistent store: reruns are warm
     lycos-repro cache info --cache-dir .lycos-cache
                                     # inspect / clear the store
+    lycos-repro serve --cache-dir .lycos-cache --workers 2
+                                    # exploration service over one store
+    lycos-repro submit --apps hal --fractions 0.5 1.0 --wait
+                                    # queue a grid on the service
+    lycos-repro status --job job-1  # poll a submitted job
+    lycos-repro results --job job-1 # stream a job's results
+    lycos-repro cancel --job job-1  # cancel its pending points
 
-or ``python -m repro <command>``.
+or ``python -m repro <command>``.  Every command that runs the engine
+accepts ``--cache-dir`` (table1, fig3, s51, iterate, allocate,
+multiasic, sweep, serve): point them at one directory and they share a
+persistent warm store.
 """
 
 import argparse
@@ -40,6 +50,54 @@ def _add_app_argument(parser, default="hal"):
     parser.add_argument("--app", default=default,
                         choices=application_names(),
                         help="benchmark application (default: %(default)s)")
+
+
+def _add_cache_dir_argument(parser):
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent engine store directory "
+                             "(reruns replay cached stages from disk)")
+
+
+def _add_service_address(parser):
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="service address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=7421,
+                        help="service port (default: %(default)s)")
+
+
+def _session(args):
+    """A session honouring the command's ``--cache-dir``."""
+    from repro.engine.session import Session
+
+    return Session(cache_dir=args.cache_dir)
+
+
+def _grid_points(apps, fractions, policies, quanta):
+    """The DesignPoint grid the sweep/submit commands share."""
+    from repro.engine import DesignPoint
+
+    points = []
+    for app in (apps or application_names()):
+        spec = application_spec(app)
+        for fraction in fractions:
+            for policy in policies:
+                points.append(DesignPoint(
+                    app=app,
+                    area=fraction * spec.total_area,
+                    policy=None if policy == "none" else policy,
+                    quanta=quanta))
+    return points
+
+
+def _check_grid_args(args):
+    if args.quanta < 1:
+        raise SystemExit("--quanta must be >= 1")
+    if not args.fractions:
+        raise SystemExit("--fractions needs at least one value")
+    if any(fraction <= 0 for fraction in args.fractions):
+        raise SystemExit("--fractions must be positive")
+    if not args.policies:
+        raise SystemExit("--policies needs at least one value")
 
 
 def build_parser():
@@ -66,14 +124,17 @@ def build_parser():
     fig3 = commands.add_parser(
         "fig3", help="regenerate Figure 3's data-path budget sweep")
     _add_app_argument(fig3)
+    _add_cache_dir_argument(fig3)
 
     s51 = commands.add_parser(
         "s51", help="section 5.1: controller-estimate optimism")
     _add_app_argument(s51, default="man")
+    _add_cache_dir_argument(s51)
 
     iterate = commands.add_parser(
         "iterate", help="the reduce-only design iteration (man/eigen fix)")
     _add_app_argument(iterate, default="man")
+    _add_cache_dir_argument(iterate)
 
     commands.add_parser("apps", help="list the benchmark applications")
 
@@ -82,12 +143,14 @@ def build_parser():
     _add_app_argument(alloc)
     alloc.add_argument("--area", type=float, default=None,
                        help="override the ASIC area (gate equivalents)")
+    _add_cache_dir_argument(alloc)
 
     multi = commands.add_parser(
         "multiasic", help="multi-ASIC co-design (future-work extension)")
     _add_app_argument(multi, default="eigen")
     multi.add_argument("--chips", type=int, default=2,
                        help="number of ASICs to split the area across")
+    _add_cache_dir_argument(multi)
 
     overheads = commands.add_parser(
         "overheads",
@@ -131,6 +194,59 @@ def build_parser():
                             "clear: delete every shard")
     cache.add_argument("--cache-dir", required=True,
                        help="store directory to operate on")
+
+    serve = commands.add_parser(
+        "serve", help="run the exploration service: concurrent clients "
+                      "submit design points against one shared store")
+    _add_cache_dir_argument(serve)
+    _add_service_address(serve)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="evaluation workers; 1 runs in-process, "
+                            ">1 keeps a persistent process pool "
+                            "(default: %(default)s)")
+    serve.add_argument("--flush-interval", type=float, default=2.0,
+                       help="seconds between store flushes while busy "
+                            "(default: %(default)s)")
+
+    submit = commands.add_parser(
+        "submit", help="submit a design-point grid to a running "
+                       "service")
+    submit.add_argument("--apps", nargs="*", default=None,
+                        choices=application_names(),
+                        help="benchmarks to submit (default: all four)")
+    submit.add_argument("--fractions", nargs="*", type=float,
+                        default=[0.5, 0.75, 1.0],
+                        help="ASIC areas as fractions of each app's "
+                             "Table 1 area (default: %(default)s)")
+    submit.add_argument("--policies", nargs="*", default=["none"],
+                        choices=["none", "fastest", "cheapest",
+                                 "balanced"],
+                        help="module-selection policies; 'none' is the "
+                             "paper's designated-unit Algorithm 1")
+    submit.add_argument("--quanta", type=int, default=150,
+                        help="PACE area resolution (default: "
+                             "%(default)s)")
+    submit.add_argument("--wait", action="store_true",
+                        help="stream the results instead of returning "
+                             "after the job id")
+    _add_service_address(submit)
+
+    status = commands.add_parser(
+        "status", help="poll a service job (or the service itself)")
+    status.add_argument("--job", default=None,
+                        help="job id; omitted, pings the service and "
+                             "lists every job")
+    _add_service_address(status)
+
+    results = commands.add_parser(
+        "results", help="stream a service job's per-point results")
+    results.add_argument("--job", required=True, help="job id")
+    _add_service_address(results)
+
+    cancel = commands.add_parser(
+        "cancel", help="cancel a service job's pending points")
+    cancel.add_argument("--job", required=True, help="job id")
+    _add_service_address(cancel)
     return parser
 
 
@@ -147,12 +263,16 @@ def cmd_table1(args):
 
 
 def cmd_fig3(args):
-    points = fig3_sweep(name=args.app)
+    session = _session(args)
+    points = fig3_sweep(name=args.app, session=session)
+    session.save_store()
     print(render_fig3(points, name=args.app))
 
 
 def cmd_s51(args):
-    rows = s51_controller_rows(args.app)
+    session = _session(args)
+    rows = s51_controller_rows(args.app, session=session)
+    session.save_store()
     print(render_s51(rows, args.app))
     optimistic = sum(1 for row in rows if row["ratio"] > 1.0)
     print("\n%d of %d BSBs have an actual controller larger than the "
@@ -160,7 +280,9 @@ def cmd_s51(args):
 
 
 def cmd_iterate(args):
-    report = design_iteration_report(args.app)
+    session = _session(args)
+    report = design_iteration_report(args.app, session=session)
+    session.save_store()
     print("Design iteration on %s" % report["name"])
     print("  initial allocation: %s" % report["initial_allocation"])
     print("  initial speed-up:   %.0f%%" % report["initial_speedup"])
@@ -184,13 +306,17 @@ def cmd_apps(args):
 
 
 def cmd_allocate(args):
-    from repro.apps.registry import load_application
-
-    library = default_library()
+    # Routed through a session for the store: warm sub-stage memos
+    # (restrictions, FURO, ECA) replay from --cache-dir, while the
+    # trace-carrying top-level run itself stays live.
+    session = _session(args)
+    library = session.library
     spec = application_spec(args.app)
     area = args.area if args.area is not None else spec.total_area
-    program = load_application(args.app)
-    result = allocate(program.bsbs, library, area=area, keep_trace=True)
+    program = session.program(args.app)
+    result = allocate(program.bsbs, library, area=area, keep_trace=True,
+                      cache=session.cache)
+    session.save_store()
     print("Algorithm 1 on %s (area %.0f):" % (args.app, area))
     for line in result.trace_lines():
         print("  " + line)
@@ -204,16 +330,18 @@ def cmd_allocate(args):
 
 
 def cmd_multiasic(args):
-    from repro.apps.registry import load_application
     from repro.partition.multi_asic import multi_asic_codesign
 
-    library = default_library()
+    session = _session(args)
+    library = session.library
     spec = application_spec(args.app)
     if args.chips < 1:
         raise SystemExit("--chips must be >= 1")
-    program = load_application(args.app)
+    program = session.program(args.app)
     areas = [spec.total_area / args.chips] * args.chips
-    result = multi_asic_codesign(program.bsbs, library, areas)
+    result = multi_asic_codesign(program.bsbs, library, areas,
+                                 session=session)
+    session.save_store()
     print("%s across %d ASIC(s) of %.0f GE each:"
           % (args.app, args.chips, areas[0]))
     for plan in result.asics:
@@ -255,30 +383,14 @@ def cmd_overheads(args):
 
 
 def cmd_sweep(args):
-    from repro.engine import DesignPoint, Session
     from repro.report.tables import render_table
 
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
-    if args.quanta < 1:
-        raise SystemExit("--quanta must be >= 1")
-    if not args.fractions:
-        raise SystemExit("--fractions needs at least one value")
-    if any(fraction <= 0 for fraction in args.fractions):
-        raise SystemExit("--fractions must be positive")
-    if not args.policies:
-        raise SystemExit("--policies needs at least one value")
-    session = Session(cache_dir=args.cache_dir)
-    points = []
-    for app in (args.apps or application_names()):
-        spec = application_spec(app)
-        for fraction in args.fractions:
-            for policy in args.policies:
-                points.append(DesignPoint(
-                    app=app,
-                    area=fraction * spec.total_area,
-                    policy=None if policy == "none" else policy,
-                    quanta=args.quanta))
+    _check_grid_args(args)
+    session = _session(args)
+    points = _grid_points(args.apps, args.fractions, args.policies,
+                          args.quanta)
     results = session.explore(points, workers=args.workers)
 
     headers = ["App", "Area", "Policy", "Data-path", "HW BSBs", "Speed-up"]
@@ -336,6 +448,91 @@ def cmd_cache(args):
                                             total_bytes))
 
 
+def cmd_serve(args):
+    from repro.service.server import serve
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.flush_interval < 0:
+        raise SystemExit("--flush-interval must be >= 0")
+    serve(cache_dir=args.cache_dir, workers=args.workers,
+          host=args.host, port=args.port,
+          flush_interval=args.flush_interval)
+
+
+def _print_point_line(index, result):
+    if result is None:
+        print("point %3d: cancelled" % index)
+        return
+    point = result.point
+    # area=None means "the app's Table 1 spec area" — say so rather
+    # than misreporting it as 0.
+    area_text = ("default" if point.area is None
+                 else "%.0f" % point.area)
+    label = "%s area %s %s" % (point.app, area_text,
+                               point.policy or "designated")
+    if result.error is not None:
+        print("point %3d: %s -> ERROR %s" % (index, label, result.error))
+    else:
+        print("point %3d: %s -> SU %.0f%% data-path %.0f"
+              % (index, label, result.speedup, result.datapath_area))
+
+
+def _print_job_status(status):
+    print("job %s: %s  (%d done / %d total, %d errors, %d cancelled)"
+          % (status["job"], status["state"], status["done"],
+             status["total"], status["errors"], status["cancelled"]))
+    lookups = status["hits"] + status["misses"]
+    print("hit rate: %.1f%% (%d hits / %d lookups)"
+          % (100.0 * status["hit_rate"], status["hits"], lookups))
+
+
+def cmd_submit(args):
+    from repro.service.client import ServiceClient
+
+    _check_grid_args(args)
+    points = _grid_points(args.apps, args.fractions, args.policies,
+                          args.quanta)
+    client = ServiceClient(host=args.host, port=args.port)
+    job = client.submit(points)
+    print("submitted %s (%d points)" % (job, len(points)))
+    if not args.wait:
+        return
+    for index, result in client.results(job):
+        _print_point_line(index, result)
+    _print_job_status(client.last_status)
+
+
+def cmd_status(args):
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    if args.job is not None:
+        _print_job_status(client.status(args.job))
+        return
+    info = client.ping()
+    print("service up: protocol v%d, %d worker(s), %d job(s)"
+          % (info["protocol"], info["workers"], info["jobs"]))
+    for status in client.jobs():
+        _print_job_status(status)
+
+
+def cmd_results(args):
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    for index, result in client.results(args.job):
+        _print_point_line(index, result)
+    _print_job_status(client.last_status)
+
+
+def cmd_cancel(args):
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    _print_job_status(client.cancel(args.job))
+
+
 def cmd_export(args):
     from repro.apps.registry import load_application
     from repro.swmodel.estimator import bsb_software_time
@@ -367,6 +564,11 @@ _COMMANDS = {
     "export": cmd_export,
     "sweep": cmd_sweep,
     "cache": cmd_cache,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "results": cmd_results,
+    "cancel": cmd_cancel,
 }
 
 

@@ -21,7 +21,13 @@ loaded lazily here so stage modules can import this package safely.
 """
 
 from repro.engine.cache import CacheStats, EvalCache
-from repro.engine.design_point import DesignPoint, PointResult, POLICY_NAMES
+from repro.engine.design_point import (
+    DesignPoint,
+    PointError,
+    PointResult,
+    POLICY_NAMES,
+    failed_point_result,
+)
 
 __all__ = [
     "CacheStats",
@@ -29,9 +35,11 @@ __all__ = [
     "DesignPoint",
     "EvalCache",
     "POLICY_NAMES",
+    "PointError",
     "PointResult",
     "Session",
     "explore_grid",
+    "failed_point_result",
 ]
 
 

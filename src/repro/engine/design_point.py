@@ -59,17 +59,49 @@ class DesignPoint:
 
 
 @dataclass(frozen=True)
+class PointError:
+    """Picklable capture of the exception one design point died on.
+
+    A long-lived batch (or service job) cannot let one infeasible point
+    abort the rest, and it cannot ship live exception objects across
+    process boundaries either — tracebacks hold frames, frames hold
+    arbitrary unpicklable state.  What travels instead is the stable
+    pair every caller actually needs: the exception class name and its
+    message.
+
+    Attributes:
+        kind: Exception class name (``"ReproError"``, ``"KeyError"``…).
+        message: ``str(exception)`` at capture time.
+    """
+
+    kind: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, exc):
+        return cls(kind=type(exc).__name__, message=str(exc))
+
+    def __str__(self):
+        return "%s: %s" % (self.kind, self.message)
+
+
+@dataclass(frozen=True)
 class PointResult:
     """Outcome of exploring one :class:`DesignPoint`.
 
     Attributes:
         point: The explored point.
-        allocation: Allocation the point's allocator produced.
+        allocation: Allocation the point's allocator produced
+            (``None`` for a failed point).
         speedup: PACE speed-up percentage of that allocation.
         datapath_area: Data-path area the allocation consumes.
         hw_names: BSBs the partition moved to hardware.
         evaluation: The full
             :class:`~repro.partition.evaluate.AllocationEvaluation`.
+        error: ``None`` for a successful point, else the
+            :class:`PointError` captured when the pipeline raised —
+            the per-point error contract of ``Session.explore(...,
+            on_error="capture")`` and of the exploration service.
     """
 
     point: DesignPoint
@@ -78,3 +110,16 @@ class PointResult:
     datapath_area: float
     hw_names: tuple = field(default_factory=tuple)
     evaluation: object = None
+    error: object = None
+
+    @property
+    def ok(self):
+        """True when the point completed (``error`` is ``None``)."""
+        return self.error is None
+
+
+def failed_point_result(point, exc):
+    """The :class:`PointResult` standing in for a point that raised."""
+    return PointResult(point=point, allocation=None, speedup=0.0,
+                       datapath_area=0.0,
+                       error=PointError.from_exception(exc))

@@ -34,7 +34,11 @@ from repro.core.module_selection import (
     allocate_with_selection,
 )
 from repro.engine.cache import EvalCache
-from repro.engine.design_point import DesignPoint, PointResult
+from repro.engine.design_point import (
+    DesignPoint,
+    PointResult,
+    failed_point_result,
+)
 from repro.errors import ReproError
 from repro.hwlib.library import default_library
 from repro.partition.evaluate import evaluate_allocation
@@ -231,7 +235,22 @@ class Session:
             evaluation=evaluation,
         )
 
-    def explore(self, points, workers=1):
+    def evaluate_point_safe(self, point):
+        """:meth:`evaluate_point` with the exception captured.
+
+        Returns a failed :class:`PointResult` (``error`` set,
+        ``allocation`` ``None``) instead of raising, so batch callers —
+        and the long-lived exploration service — can keep going when
+        one point names an unknown app or an infeasible configuration.
+        ``KeyboardInterrupt``/``SystemExit`` still propagate.
+        """
+        try:
+            return self.evaluate_point(point)
+        except Exception as exc:
+            return failed_point_result(point, exc)
+
+    def explore(self, points, workers=1, on_error="raise",
+                on_result=None):
         """Evaluate many design points, optionally across processes.
 
         Results come back in input order.  With ``workers`` > 1 the
@@ -244,12 +263,53 @@ class Session:
         hit/miss accounting back with its results, and the merged
         counters land in ``self.stats`` — parallel sweeps report the
         same real numbers a serial run would.
+
+        Failure contract (identical for the serial and parallel
+        paths):
+
+        * ``on_error="capture"`` — a point that raises yields a
+          :class:`PointResult` with ``error`` set; every other point
+          still completes and its store entries persist.
+        * ``on_error="raise"`` (default) — completed work is flushed to
+          the store *first*, then the failure surfaces: the serial
+          path re-raises the original exception, the parallel path
+          raises :class:`ReproError` naming the first failed point (the
+          original exception died in a worker process).
+
+        ``on_result``, when given, is called with each
+        :class:`PointResult` as it completes — input order serially,
+        chunk-completion order in parallel — including captured
+        failures.  A ``KeyboardInterrupt`` mid-sweep terminates the
+        pool cleanly and still flushes everything the parent already
+        absorbed.
         """
+        if on_error not in ("raise", "capture"):
+            raise ReproError("on_error must be 'raise' or 'capture', "
+                             "got %r" % (on_error,))
         points = [self._coerce_point(point) for point in points]
         if workers <= 1 or len(points) <= 1:
-            results = [self.evaluate_point(point) for point in points]
+            return self._explore_serial(points, on_error, on_result)
+        return self._explore_parallel(points, workers, on_error,
+                                      on_result)
+
+    def _explore_serial(self, points, on_error, on_result):
+        results = []
+        try:
+            for point in points:
+                if on_error == "capture":
+                    result = self.evaluate_point_safe(point)
+                else:
+                    # The finally-flush below persists every completed
+                    # point's store deltas before the raise surfaces.
+                    result = self.evaluate_point(point)
+                results.append(result)
+                if on_result is not None:
+                    on_result(result)
+        finally:
             self.save_store()  # same persistence contract as parallel
-            return results
+        return results
+
+    def _explore_parallel(self, points, workers, on_error, on_result):
         processes = min(workers, len(points))
         # Contiguous chunks, one pool task each: a worker evaluates a
         # whole chunk and ships the chunk's new store entries back as
@@ -263,18 +323,46 @@ class Session:
         # Spill first so workers hydrate whatever this session already
         # computed instead of starting from the store's last state.
         self.save_store()
-        with multiprocessing.Pool(processes=processes,
-                                  initializer=_worker_init,
-                                  initargs=(self.library, cache_dir)) \
-                as pool:
-            outcomes = pool.map(_worker_point_chunk, chunks, chunksize=1)
-        results = []
-        for chunk_results, stats_delta, store_delta in outcomes:
-            self.stats.merge(stats_delta)
-            if self.store is not None and store_delta:
-                self.store.absorb_delta(store_delta)
-            results.extend(chunk_results)
-        self.save_store()
+        slots = [None] * len(chunks)
+        pool = multiprocessing.Pool(processes=processes,
+                                    initializer=_worker_init,
+                                    initargs=(self.library, cache_dir))
+        try:
+            # imap_unordered: each chunk's results, accounting and
+            # store delta are absorbed the moment the chunk finishes,
+            # so an interrupt (or a fail-fast raise) loses only the
+            # chunks still in flight — never completed work.
+            outcomes = pool.imap_unordered(_worker_point_chunk,
+                                           list(enumerate(chunks)))
+            for index, chunk_results, stats_delta, store_delta \
+                    in outcomes:
+                self.stats.merge(stats_delta)
+                if self.store is not None and store_delta:
+                    self.store.absorb_delta(store_delta)
+                slots[index] = chunk_results
+                if on_result is not None:
+                    for result in chunk_results:
+                        on_result(result)
+            pool.close()
+            pool.join()
+        except BaseException:
+            # KeyboardInterrupt (or a broken pool): kill the workers
+            # quietly instead of leaving them to die noisily at
+            # interpreter teardown; the finally-flush keeps whatever
+            # already came back.
+            pool.terminate()
+            pool.join()
+            raise
+        finally:
+            self.save_store()
+        results = [result for chunk_results in slots
+                   for result in chunk_results]
+        if on_error == "raise":
+            failed = next((result for result in results
+                           if result.error is not None), None)
+            if failed is not None:
+                raise ReproError("design point %r failed: %s"
+                                 % (failed.point, failed.error))
         return results
 
     def explore_grid(self, apps, areas=(None,), policies=(None,),
@@ -329,8 +417,8 @@ def _worker_init(library, cache_dir=None):
     _WORKER_SESSION = Session(library=library, cache_dir=cache_dir)
 
 
-def _worker_point_chunk(points):
-    """Evaluate one chunk of points; ships results plus accounting.
+def _worker_point_chunk(task):
+    """Evaluate one indexed chunk of points; ships results + accounting.
 
     The worker's cache never leaves its process, but its accounting
     does: the parent merges the per-chunk hit/miss delta so
@@ -339,13 +427,21 @@ def _worker_point_chunk(points):
     (stable-encoded), so the parent — the store's one writer — spills
     everything in a single final flush instead of every worker racing
     shard rewrites of its own.
+
+    Every point is evaluated with its error *captured*: a bad point
+    must not abort the chunk (which would discard its siblings' results
+    and store deltas), so failures travel back as
+    :class:`~repro.engine.design_point.PointError` payloads and the
+    parent decides whether to raise.
     """
+    index, points = task
     session = _WORKER_SESSION
     before = session.stats.snapshot()
-    results = [session.evaluate_point(point) for point in points]
+    results = [session.evaluate_point_safe(point) for point in points]
     store_delta = None if session.store is None \
         else session.store.export_delta(session.cache)
     from repro.engine.cache import CacheStats
 
-    return (results, CacheStats.delta(before, session.stats.snapshot()),
+    return (index, results,
+            CacheStats.delta(before, session.stats.snapshot()),
             store_delta)

@@ -169,6 +169,9 @@ class CacheStore:
         # Stage -> {stable key: value} absorbed from worker deltas;
         # written out (then dropped) by the next flush.
         self._absorbed = {}
+        # Monotonic timestamp of the last flush() attempt, for the
+        # rate-limited maybe_flush() the exploration service uses.
+        self._last_flush = None
 
     # ------------------------------------------------------------------
     # Registration: teach the store which objects are in play
@@ -570,10 +573,26 @@ class CacheStore:
         if not isinstance(cache, EvalCache):
             raise TypeError("flush() expects an EvalCache, got %r"
                             % (cache,))
+        self._last_flush = time.monotonic()
         if not self._needs_flush(cache):
             return 0
         with self._flush_lock():
             return self._flush_locked(cache)
+
+    def maybe_flush(self, cache, min_interval_seconds=5.0):
+        """Flush unless one already ran in the last interval.
+
+        The exploration service's single-writer loop calls this after
+        every completed point: durability work happens on a time
+        budget (one shard rewrite per interval at most) instead of
+        once per point, while an idle service still ends up flushed —
+        the loop forces a plain :meth:`flush` when a job drains.
+        Returns the entries written (0 when rate-limited or clean).
+        """
+        if self._last_flush is not None and \
+                time.monotonic() - self._last_flush < min_interval_seconds:
+            return 0
+        return self.flush(cache)
 
     def _needs_flush(self, cache):
         """True when a stage grew or a worker delta awaits writing."""

@@ -9,6 +9,7 @@ allocation is re-validated against the library it is applied to.
 import json
 
 from repro.core.rmap import RMap
+from repro.engine.design_point import DesignPoint, PointError, PointResult
 from repro.errors import ReproError
 
 FORMAT_VERSION = 1
@@ -100,6 +101,100 @@ def exhaustive_result_to_dict(result):
         "sampled": result.sampled,
         "skipped_infeasible": result.skipped_infeasible,
     }
+
+
+def design_point_to_dict(point):
+    """Serialise a :class:`~repro.engine.design_point.DesignPoint`."""
+    return {
+        "kind": "design-point",
+        "version": FORMAT_VERSION,
+        "app": point.app,
+        "area": point.area,
+        "policy": point.policy,
+        "quanta": point.quanta,
+        "comm_cycles_per_word": point.comm_cycles_per_word,
+    }
+
+
+def design_point_from_dict(data):
+    """Deserialise a design point; :class:`ReproError` on bad shape.
+
+    Validation is structural only (types, ranges, known policy names);
+    whether ``app`` names a real benchmark is decided when the point is
+    evaluated — that is the per-point error contract of the batch and
+    service APIs, where one unknown app must not poison its batch.
+    """
+    if not isinstance(data, dict) or data.get("kind") != "design-point":
+        raise ReproError("not a design-point document: %r" % (data,))
+    if data.get("version") != FORMAT_VERSION:
+        raise ReproError("unsupported design-point format version %r"
+                         % (data.get("version"),))
+    area = data.get("area")
+    try:
+        return DesignPoint(
+            app=data.get("app"),
+            area=None if area is None else float(area),
+            policy=data.get("policy"),
+            quanta=int(data.get("quanta", 150)),
+            comm_cycles_per_word=float(
+                data.get("comm_cycles_per_word", 4.0)))
+    except (TypeError, ValueError) as exc:
+        raise ReproError("malformed design point %r: %s"
+                         % (data, exc)) from None
+
+
+def point_result_to_dict(result):
+    """Serialise a :class:`~repro.engine.design_point.PointResult`.
+
+    The embedded ``evaluation`` object is deliberately *not* carried
+    (it is a live object graph; :func:`evaluation_to_dict` exists for
+    callers that want its numbers) — the wire format round-trips the
+    point, the allocation, the headline metrics and the per-point
+    error.
+    """
+    error = result.error
+    return {
+        "kind": "point-result",
+        "version": FORMAT_VERSION,
+        "point": design_point_to_dict(result.point),
+        "allocation": (None if result.allocation is None
+                       else allocation_to_dict(result.allocation)),
+        "speedup": result.speedup,
+        "datapath_area": result.datapath_area,
+        "hw_bsbs": list(result.hw_names),
+        "error": (None if error is None
+                  else {"kind": error.kind, "message": error.message}),
+    }
+
+
+def point_result_from_dict(data, library=None):
+    """Deserialise a point result (``evaluation`` stays ``None``)."""
+    if not isinstance(data, dict) or data.get("kind") != "point-result":
+        raise ReproError("not a point-result document: %r" % (data,))
+    if data.get("version") != FORMAT_VERSION:
+        raise ReproError("unsupported point-result format version %r"
+                         % (data.get("version"),))
+    allocation = data.get("allocation")
+    error = data.get("error")
+    if error is not None:
+        if not isinstance(error, dict):
+            raise ReproError("point-result error must be a mapping")
+        error = PointError(kind=str(error.get("kind", "Exception")),
+                           message=str(error.get("message", "")))
+    hw_bsbs = data.get("hw_bsbs", [])
+    if not isinstance(hw_bsbs, (list, tuple)):
+        raise ReproError("point-result hw_bsbs must be a list")
+    try:
+        return PointResult(
+            point=design_point_from_dict(data.get("point")),
+            allocation=(None if allocation is None else
+                        allocation_from_dict(allocation, library=library)),
+            speedup=float(data.get("speedup", 0.0)),
+            datapath_area=float(data.get("datapath_area", 0.0)),
+            hw_names=tuple(str(name) for name in hw_bsbs),
+            error=error)
+    except (TypeError, ValueError) as exc:
+        raise ReproError("malformed point result: %s" % (exc,)) from None
 
 
 def save_json(document, path):

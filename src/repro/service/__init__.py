@@ -1,0 +1,38 @@
+"""Async job-queue frontend over the exploration engine.
+
+Layers (thinnest on top):
+
+* :mod:`repro.service.protocol` — the line-JSON wire format: request
+  parsing, submission validation, response builders.
+* :mod:`repro.service.queue` — :class:`Job`/:class:`JobQueue`: batch
+  bookkeeping, per-point lifecycle, completion-order streaming state.
+* :mod:`repro.service.server` — :class:`ExplorationService`: the
+  asyncio server + scheduler draining the queue onto one shared
+  :class:`~repro.engine.session.Session` (single-writer engine thread,
+  optional persistent ``multiprocessing`` pool), plus the blocking
+  :func:`serve` entry point.
+* :mod:`repro.service.client` — :class:`ServiceClient`: the blocking
+  socket client the CLI's ``submit``/``status``/``results`` wrap.
+
+Heavy modules load lazily, mirroring :mod:`repro.engine`.
+"""
+
+__all__ = [
+    "ExplorationService",
+    "ServiceClient",
+    "ServiceError",
+    "serve",
+]
+
+
+def __getattr__(name):
+    if name in ("ExplorationService", "serve"):
+        from repro.service import server
+
+        return getattr(server, name)
+    if name in ("ServiceClient", "ServiceError"):
+        from repro.service import client
+
+        return getattr(client, name)
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))

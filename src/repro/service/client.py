@@ -1,0 +1,166 @@
+"""Blocking client for the exploration service.
+
+One TCP connection per request (the server is connection-agnostic and
+the requests are tiny), which is what makes many concurrent clients
+trivial — there is no session state to multiplex.  ``results`` keeps
+its connection open and yields completions as the server streams them.
+
+The client speaks :mod:`~repro.service.protocol` documents and hands
+back engine objects: ``submit`` accepts
+:class:`~repro.engine.design_point.DesignPoint` instances (or app-name
+strings, or already-serialised dicts) and ``results`` yields
+``(index, PointResult)`` pairs — a failed point comes back with
+``result.error`` set, never as an exception.
+"""
+
+import json
+import socket
+
+from repro.engine.design_point import DesignPoint
+from repro.errors import ReproError
+from repro.io.serialize import (
+    design_point_to_dict,
+    point_result_from_dict,
+)
+from repro.service import protocol
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+
+
+class ServiceError(ReproError):
+    """The server rejected a request or the reply was unreadable."""
+
+
+class ServiceClient:
+    """Client for one service address.
+
+    Attributes:
+        host / port: The service address.
+        timeout: Per-socket-operation timeout in seconds.  ``results``
+            streams block up to this long *between lines*, so pick it
+            larger than the slowest single point you expect.
+    """
+
+    def __init__(self, host=DEFAULT_HOST, port=DEFAULT_PORT,
+                 timeout=120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self):
+        return socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+
+    @staticmethod
+    def _read_line(stream):
+        line = stream.readline(protocol.MAX_LINE_BYTES + 1)
+        if not line:
+            raise ServiceError("connection closed by the server")
+        if len(line) > protocol.MAX_LINE_BYTES:
+            raise ServiceError("response line exceeds %d bytes"
+                               % protocol.MAX_LINE_BYTES)
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise ServiceError("unreadable response: %r"
+                               % line[:80]) from None
+        if not isinstance(message, dict):
+            raise ServiceError("response must be a JSON object")
+        if not message.get("ok", False):
+            raise ServiceError(message.get("error", "request rejected"))
+        return message
+
+    def _request(self, message):
+        """Send one request, return its single response line."""
+        with self._connect() as sock:
+            with sock.makefile("rwb") as stream:
+                stream.write(protocol.encode(message))
+                stream.flush()
+                return self._read_line(stream)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self):
+        """Server liveness + protocol/worker info."""
+        return self._request({"op": "ping"})
+
+    def submit(self, points):
+        """Submit a batch; returns the job id."""
+        documents = [self._coerce_point(point) for point in points]
+        response = self._request({"op": "submit", "points": documents})
+        return response["job"]
+
+    def status(self, job_id):
+        """The job's status document."""
+        return self._request({"op": "status", "job": job_id})["status"]
+
+    def cancel(self, job_id):
+        """Cancel the job's pending points; returns the final status."""
+        response = self._request({"op": "cancel", "job": job_id})
+        return response["status"]
+
+    def jobs(self):
+        """Status documents of every job the server knows."""
+        return self._request({"op": "jobs"})["jobs"]
+
+    def shutdown(self):
+        """Ask the server to stop (it flushes its store first)."""
+        return self._request({"op": "shutdown"})
+
+    def results(self, job_id, library=None):
+        """Yield ``(index, PointResult)`` as points complete.
+
+        Completion-ordered, not submission-ordered; a cancelled point
+        yields ``(index, None)``.  The generator ends when the job
+        reaches a terminal state; the closing status document is
+        available afterwards as :attr:`last_status`.
+        """
+        self.last_status = None
+        with self._connect() as sock:
+            with sock.makefile("rwb") as stream:
+                stream.write(protocol.encode(
+                    {"op": "results", "job": job_id}))
+                stream.flush()
+                header = self._read_line(stream)
+                if not header.get("streaming"):
+                    raise ServiceError("expected a results stream, got "
+                                       "%r" % (header,))
+                while True:
+                    message = self._read_line(stream)
+                    if message.get("done"):
+                        self.last_status = message.get("status")
+                        return
+                    index = message["index"]
+                    if message.get("cancelled"):
+                        yield index, None
+                    else:
+                        yield index, point_result_from_dict(
+                            message["result"], library=library)
+
+    def collect(self, job_id, library=None):
+        """Block until terminal; results in submission order.
+
+        Returns a list with one slot per submitted point:
+        :class:`PointResult` (``error`` possibly set) or ``None`` for a
+        cancelled point.
+        """
+        status = self.status(job_id)
+        slots = [None] * status["total"]
+        for index, result in self.results(job_id, library=library):
+            slots[index] = result
+        return slots
+
+    @staticmethod
+    def _coerce_point(point):
+        if isinstance(point, DesignPoint):
+            return design_point_to_dict(point)
+        if isinstance(point, str):
+            return design_point_to_dict(DesignPoint(app=point))
+        if isinstance(point, dict):
+            return point
+        raise ServiceError("submit() expects DesignPoint instances, "
+                           "app names or design-point dicts, got %r"
+                           % (point,))

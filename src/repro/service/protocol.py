@@ -1,0 +1,122 @@
+"""Wire protocol of the exploration service: JSON lines over a socket.
+
+One request per line, one (or, for ``results``, a stream of) response
+line(s) back.  Every message is a JSON object; requests carry an
+``op`` discriminator, responses carry ``ok``.  The format is designed
+to be driven by hand (``nc localhost 7421``) as much as by the
+:mod:`~repro.service.client`:
+
+    {"op": "ping"}
+    {"op": "submit", "points": [{"kind": "design-point", ...}, ...]}
+    {"op": "status", "job": "job-1"}
+    {"op": "results", "job": "job-1"}
+    {"op": "cancel", "job": "job-1"}
+    {"op": "jobs"}
+    {"op": "shutdown"}
+
+Design points and point results travel in their
+:mod:`repro.io.serialize` layouts, so a submission file and a service
+submission are the same document.  Malformed requests are *rejected*
+(``{"ok": false, "error": ...}``) without disturbing the connection or
+any running job; only framing violations (a line past
+:data:`MAX_LINE_BYTES`) drop the connection.
+
+The service authenticates nobody and binds loopback by default — it is
+an engine frontend for mutually trusting local clients, exactly like
+the pickle-shard store it sits on (see the trust note in
+:mod:`repro.engine.store`).  Auth and backpressure are recorded as
+ROADMAP follow-ons.
+"""
+
+import json
+
+from repro.errors import ReproError
+from repro.io.serialize import design_point_from_dict
+
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one framed line (requests and responses).  A submission
+#: of MAX_BATCH_POINTS points stays far below this.
+MAX_LINE_BYTES = 1 << 20
+
+#: Hard cap on the points of one submission; keeps a single request
+#: from swallowing the queue (real backpressure is a follow-on).
+MAX_BATCH_POINTS = 4096
+
+#: Every operation the server understands.
+OPS = ("ping", "submit", "status", "results", "cancel", "jobs",
+       "shutdown")
+
+
+class ProtocolError(ReproError):
+    """A malformed request (bad JSON, unknown op, bad payload)."""
+
+
+def encode(message):
+    """One response/request line: compact JSON plus the newline."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_request(line):
+    """Parse one request line; :class:`ProtocolError` when malformed."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("request line exceeds %d bytes"
+                            % MAX_LINE_BYTES)
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise ProtocolError("request is not valid JSON") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object, got %s"
+                            % type(message).__name__)
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError("unknown op %r (expected one of %s)"
+                            % (op, ", ".join(OPS)))
+    return message
+
+
+def submission_points(request):
+    """The validated :class:`DesignPoint` list of a submit request.
+
+    Structural validation only — an unknown *app name* is accepted here
+    and surfaces later as that point's ``error`` (the per-point
+    contract), whereas a structurally bad point rejects the whole
+    submission before anything is queued.
+    """
+    points = request.get("points")
+    if not isinstance(points, list) or not points:
+        raise ProtocolError("submit needs a non-empty 'points' list")
+    if len(points) > MAX_BATCH_POINTS:
+        raise ProtocolError("submission of %d points exceeds the %d "
+                            "point batch cap" % (len(points),
+                                                 MAX_BATCH_POINTS))
+    decoded = []
+    for position, data in enumerate(points):
+        try:
+            decoded.append(design_point_from_dict(data))
+        except ReproError as exc:
+            raise ProtocolError("points[%d]: %s"
+                                % (position, exc)) from None
+    return decoded
+
+
+def job_name(request):
+    """The job id a status/results/cancel request names."""
+    job = request.get("job")
+    if not isinstance(job, str) or not job:
+        raise ProtocolError("request needs a 'job' id string")
+    return job
+
+
+def ok(**fields):
+    """A success response."""
+    response = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error(message):
+    """A rejection response."""
+    return {"ok": False, "error": str(message)}

@@ -1,0 +1,153 @@
+"""Job bookkeeping for the exploration service.
+
+A :class:`Job` is one submitted batch of design points; the
+:class:`JobQueue` owns every job and the single FIFO of work units —
+``(job, index)`` pairs — the scheduler's workers drain.  Units from
+different jobs interleave in submission order, so a small late job is
+not starved behind a huge early one's tail (beyond the units already
+in flight).
+
+All state mutation happens on the event loop (the scheduler records
+results via coroutines); the per-job :class:`asyncio.Condition` exists
+for the *streaming* readers, which must block until new completions
+arrive.  Completion order is recorded per job, so a results stream
+replays finished points first and then follows live, order-independent
+of submission.
+"""
+
+import asyncio
+import itertools
+
+from repro.errors import ReproError
+
+#: Per-point lifecycle.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"          # completed, possibly with PointResult.error set
+CANCELLED = "cancelled"
+
+#: Job lifecycle (derived from the points plus the cancel flag).
+QUEUED = "queued"
+ACTIVE = "running"
+FINISHED = "done"
+STOPPED = "cancelled"
+
+
+class Job:
+    """One submitted batch and everything known about its progress."""
+
+    def __init__(self, job_id, points):
+        self.id = job_id
+        self.points = list(points)
+        self.states = [PENDING] * len(self.points)
+        self.results = {}          # index -> PointResult (DONE points)
+        self.order = []            # indices in completion order
+        self.cancelled = False
+        self.stats = {}            # stage -> [hits, misses] of this job
+        self.condition = asyncio.Condition()
+
+    @property
+    def finished(self):
+        """True once every point reached a terminal state."""
+        return all(state in (DONE, CANCELLED) for state in self.states)
+
+    @property
+    def state(self):
+        if self.cancelled:
+            return STOPPED
+        if self.finished:
+            return FINISHED
+        if any(state != PENDING for state in self.states):
+            return ACTIVE
+        return QUEUED
+
+    def merge_stats(self, delta):
+        """Fold one point's per-stage (hits, misses) delta into the job."""
+        for stage, (hits, misses) in delta.items():
+            entry = self.stats.setdefault(stage, [0, 0])
+            entry[0] += hits
+            entry[1] += misses
+
+    def status(self):
+        """The JSON-able status document of this job."""
+        counts = {PENDING: 0, RUNNING: 0, DONE: 0, CANCELLED: 0}
+        for state in self.states:
+            counts[state] += 1
+        errors = sum(1 for result in self.results.values()
+                     if result.error is not None)
+        hits = sum(entry[0] for entry in self.stats.values())
+        misses = sum(entry[1] for entry in self.stats.values())
+        lookups = hits + misses
+        return {
+            "job": self.id,
+            "state": self.state,
+            "total": len(self.points),
+            "pending": counts[PENDING],
+            "running": counts[RUNNING],
+            "done": counts[DONE],
+            "cancelled": counts[CANCELLED],
+            "errors": errors,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }
+
+    async def record(self, index, result, stats_delta=None):
+        """Mark one point DONE and wake the streaming readers."""
+        async with self.condition:
+            self.states[index] = DONE
+            self.results[index] = result
+            self.order.append(index)
+            if stats_delta:
+                self.merge_stats(stats_delta)
+            self.condition.notify_all()
+
+    async def mark_cancelled(self, indices):
+        """Mark still-pending points CANCELLED; wake the readers."""
+        async with self.condition:
+            for index in indices:
+                self.states[index] = CANCELLED
+                self.order.append(index)
+            self.condition.notify_all()
+
+
+class JobQueue:
+    """Every job of one service instance plus the shared work FIFO."""
+
+    def __init__(self):
+        self.jobs = {}
+        self._counter = itertools.count(1)
+        self._work = asyncio.Queue()
+
+    def submit(self, points):
+        """Queue a batch; returns the new :class:`Job`."""
+        job = Job("job-%d" % next(self._counter), points)
+        self.jobs[job.id] = job
+        for index in range(len(job.points)):
+            self._work.put_nowait((job, index))
+        return job
+
+    def get(self, job_id):
+        """The named job; :class:`ReproError` when unknown."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ReproError("unknown job %r" % (job_id,))
+        return job
+
+    async def next_unit(self):
+        """Block until a work unit is available; ``(job, index)``."""
+        return await self._work.get()
+
+    async def cancel(self, job_id):
+        """Cancel a job's not-yet-started points; returns the count.
+
+        Points already running finish normally (their results stay
+        available); pending points flip to CANCELLED here and are
+        skipped when the scheduler eventually dequeues them.
+        """
+        job = self.get(job_id)
+        job.cancelled = True
+        pending = [index for index, state in enumerate(job.states)
+                   if state == PENDING]
+        await job.mark_cancelled(pending)
+        return len(pending)

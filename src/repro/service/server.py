@@ -1,0 +1,371 @@
+"""The asyncio exploration service: one warm store, many clients.
+
+The server wraps a single long-lived
+:class:`~repro.engine.session.Session` (usually opened with a
+``cache_dir``) behind the line-JSON protocol of
+:mod:`~repro.service.protocol`: clients submit batches of design
+points, a fixed set of scheduler workers drains the shared
+:class:`~repro.service.queue.JobQueue`, and every client streams its
+job's results as they complete — so concurrent clients share one warm
+cache instead of each paying a cold sweep.
+
+Concurrency model (the single-writer rule):
+
+* ``workers == 1`` (the default) evaluates points *in process* on one
+  dedicated engine thread.  The parent session, its cache and its
+  store are only ever touched from that thread, so the plain-dict
+  engine needs no locks.
+* ``workers > 1`` keeps a persistent ``multiprocessing`` pool whose
+  processes each hold a session hydrated from the same ``cache_dir``
+  (the plumbing ``Session.explore`` uses); dispatch threads block on
+  the pool while the event loop stays responsive.  Workers never write
+  shards — their stable-encoded store deltas travel back and are
+  absorbed on the engine thread, which remains the store's only
+  writer.
+
+Durability: the engine thread rate-limits flushes through
+:meth:`~repro.engine.store.CacheStore.maybe_flush` after every point
+and forces a full flush whenever a job drains, so a crash loses at
+most ``flush_interval`` seconds of cache growth and a streamed "done"
+implies the job's entries are on disk.
+
+Failure containment: every point is evaluated through
+``Session.evaluate_point_safe`` — an unknown app or infeasible point
+yields a ``PointResult`` with ``error`` set for *that point only*; the
+job, its siblings and the service keep going.
+"""
+
+import asyncio
+import concurrent.futures
+import multiprocessing
+
+from repro.engine.cache import CacheStats
+from repro.engine.session import Session
+from repro.io.serialize import point_result_to_dict
+from repro.service import protocol
+from repro.service.queue import PENDING, RUNNING, JobQueue
+from repro.errors import ReproError
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7421
+
+
+def _pooled_point(point):
+    """Evaluate one point inside a pool worker; error captured.
+
+    Runs in a worker process initialised by
+    :func:`repro.engine.session._worker_init`; reuses the chunk
+    plumbing with a one-point chunk, so the result ships with the
+    worker's hit/miss delta and the stable-encoded store delta for the
+    parent (the single writer) to absorb.
+    """
+    from repro.engine import session as session_module
+
+    _, results, stats_delta, store_delta = \
+        session_module._worker_point_chunk((0, [point]))
+    return results[0], stats_delta, store_delta
+
+
+class ExplorationService:
+    """One service instance: session + queue + scheduler + protocol."""
+
+    def __init__(self, session, workers=1, flush_interval=2.0):
+        self.session = session
+        self.workers = max(1, int(workers))
+        self.flush_interval = float(flush_interval)
+        self.queue = None        # created in start() (needs the loop)
+        self.address = None
+        self._server = None
+        self._stopping = None
+        self._tasks = []
+        self._connections = set()
+        self._engine = None      # the single session/store thread
+        self._dispatch = None    # threads blocking on the mp pool
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host=DEFAULT_HOST, port=0):
+        """Bind, spin up the scheduler, return self (address set)."""
+        self.queue = JobQueue()
+        self._stopping = asyncio.Event()
+        self._engine = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="lycos-engine")
+        if self.workers > 1:
+            cache_dir = None if self.session.store is None \
+                else self.session.store.root
+            # Hand workers everything already computed here, then keep
+            # the pool for the service's whole life: its per-process
+            # caches stay warm across jobs and clients.
+            await self._on_engine(self.session.save_store)
+            from repro.engine.session import _worker_init
+
+            self._pool = multiprocessing.Pool(
+                processes=self.workers, initializer=_worker_init,
+                initargs=(self.session.library, cache_dir))
+            self._dispatch = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="lycos-dispatch")
+        self._tasks = [asyncio.ensure_future(self._worker_loop())
+                       for _ in range(self.workers)]
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=protocol.MAX_LINE_BYTES)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def run_until_shutdown(self):
+        """Serve until a shutdown request (or cancellation) arrives."""
+        await self._stopping.wait()
+        await self.stop()
+
+    async def stop(self):
+        """Tear the service down; the store gets one final flush."""
+        if self._server is not None:
+            self._server.close()
+            # Cancel the live connection handlers before waiting: an
+            # idle client parked in readline() would otherwise hold
+            # wait_closed() open forever on Python >= 3.12, where it
+            # waits for every handler, not just the listening socket.
+            for connection in list(self._connections):
+                connection.cancel()
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+            await self._server.wait_closed()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        # Drain before destroy: a terminated pool never answers its
+        # outstanding ``apply`` calls, which would strand the dispatch
+        # threads (and with them, interpreter exit) forever.  close()
+        # lets in-flight evaluations finish, the dispatch threads
+        # return, and only then does the pool go away — so a shutdown
+        # during a busy job waits out the points in flight instead of
+        # hanging.
+        if self._pool is not None:
+            self._pool.close()
+        if self._dispatch is not None:
+            self._dispatch.shutdown(wait=True)
+            self._dispatch = None
+        if self._pool is not None:
+            self._pool.join()
+            self._pool = None
+        if self._engine is not None:
+            await self._on_engine(self.session.save_store)
+            self._engine.shutdown(wait=True)
+            self._engine = None
+
+    def _on_engine(self, callable_, *args):
+        """Run session/store work on the single engine thread."""
+        return asyncio.get_running_loop().run_in_executor(
+            self._engine, callable_, *args)
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    async def _worker_loop(self):
+        while True:
+            job, index = await self.queue.next_unit()
+            try:
+                await self._run_unit(job, index)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A unit must never kill its scheduler slot; the point
+                # is recorded as failed and the loop keeps draining.
+                pass
+
+    async def _run_unit(self, job, index):
+        if job.states[index] != PENDING:
+            return  # cancelled while queued
+        job.states[index] = RUNNING
+        point = job.points[index]
+        store_delta = None
+        try:
+            if self._pool is None:
+                result, stats_delta = await self._on_engine(
+                    self._evaluate_local, point)
+            else:
+                loop = asyncio.get_running_loop()
+                result, stats_delta, store_delta = \
+                    await loop.run_in_executor(
+                        self._dispatch, self._pool.apply,
+                        _pooled_point, (point,))
+        except Exception as exc:
+            from repro.engine.design_point import failed_point_result
+
+            result, stats_delta = failed_point_result(point, exc), {}
+        # Bookkeeping failures (a full disk mid-flush, say) must not
+        # discard a result that was already computed: the per-point
+        # error field reports *design-point* failures, and the store
+        # retries unchanged entries on its next flush anyway.
+        try:
+            await self._on_engine(self._absorb_and_flush,
+                                  self._pool is not None, stats_delta,
+                                  store_delta)
+        except Exception:
+            pass
+        await job.record(index, result, stats_delta)
+        if job.finished:
+            # A streamed "done" implies durability: force the flush the
+            # per-point path only performs on its time budget.
+            await self._on_engine(self.session.save_store)
+
+    def _evaluate_local(self, point):
+        """One in-process evaluation; runs on the engine thread."""
+        stats = self.session.stats
+        before = stats.snapshot()
+        result = self.session.evaluate_point_safe(point)
+        return result, CacheStats.delta(before, stats.snapshot())
+
+    def _absorb_and_flush(self, pooled, stats_delta, store_delta):
+        """Absorb a pooled point's deltas, then flush on the time
+        budget; runs on the engine thread.  In-process points only
+        flush (their stats landed in the parent during evaluation)."""
+        if pooled:
+            self.session.stats.merge(stats_delta)
+            if self.session.store is not None and store_delta:
+                self.session.store.absorb_delta(store_delta)
+        if self.session.store is not None:
+            self.session.store.maybe_flush(self.session.cache,
+                                           self.flush_interval)
+
+    # ------------------------------------------------------------------
+    # Protocol handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer):
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Over-long line: framing is gone, drop the link.
+                    writer.write(protocol.encode(protocol.error(
+                        "request line exceeds %d bytes"
+                        % protocol.MAX_LINE_BYTES)))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                try:
+                    request = protocol.decode_request(line)
+                    await self._dispatch_request(request, writer)
+                except (protocol.ProtocolError, ReproError) as exc:
+                    writer.write(protocol.encode(protocol.error(exc)))
+                    await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-reply; nothing to clean up
+        finally:
+            self._connections.discard(task)
+            writer.close()
+
+    async def _dispatch_request(self, request, writer):
+        op = request["op"]
+        if op == "ping":
+            writer.write(protocol.encode(protocol.ok(
+                protocol=protocol.PROTOCOL_VERSION,
+                workers=self.workers, jobs=len(self.queue.jobs))))
+        elif op == "submit":
+            points = protocol.submission_points(request)
+            job = self.queue.submit(points)
+            writer.write(protocol.encode(protocol.ok(
+                job=job.id, total=len(job.points))))
+        elif op == "status":
+            job = self.queue.get(protocol.job_name(request))
+            writer.write(protocol.encode(protocol.ok(
+                status=job.status())))
+        elif op == "results":
+            job = self.queue.get(protocol.job_name(request))
+            await self._stream_results(job, writer)
+            return
+        elif op == "cancel":
+            cancelled = await self.queue.cancel(
+                protocol.job_name(request))
+            job = self.queue.get(request["job"])
+            writer.write(protocol.encode(protocol.ok(
+                cancelled=cancelled, status=job.status())))
+        elif op == "jobs":
+            writer.write(protocol.encode(protocol.ok(
+                jobs=[self.queue.jobs[name].status()
+                      for name in sorted(self.queue.jobs)])))
+        elif op == "shutdown":
+            writer.write(protocol.encode(protocol.ok(stopping=True)))
+            await writer.drain()
+            self._stopping.set()
+            return
+        await writer.drain()
+
+    async def _stream_results(self, job, writer):
+        """Replay finished points, then follow live until terminal.
+
+        One line per terminal point, completion-ordered: ``index`` +
+        either the serialised result or a ``cancelled`` marker; a final
+        ``done`` line carries the job's closing status.
+        """
+        writer.write(protocol.encode(protocol.ok(
+            job=job.id, total=len(job.points), streaming=True)))
+        await writer.drain()
+        sent = 0
+        while True:
+            async with job.condition:
+                while len(job.order) <= sent and not job.finished:
+                    await job.condition.wait()
+                batch = list(job.order[sent:])
+            for index in batch:
+                result = job.results.get(index)
+                if result is None:
+                    line = protocol.ok(index=index, cancelled=True)
+                else:
+                    line = protocol.ok(
+                        index=index, result=point_result_to_dict(result))
+                writer.write(protocol.encode(line))
+            sent += len(batch)
+            await writer.drain()
+            if job.finished and sent >= len(job.order):
+                break
+        # The durability barrier of the contract: once a client reads
+        # "done", the job's store entries are on disk.  (The scheduler
+        # also flushes on completion, but that flush may still be in
+        # flight when the last result streams out; this one is cheap —
+        # a no-op when the engine thread already got there.)
+        await self._on_engine(self.session.save_store)
+        writer.write(protocol.encode(protocol.ok(
+            done=True, status=job.status())))
+        await writer.drain()
+
+
+def serve(cache_dir=None, workers=1, host=DEFAULT_HOST,
+          port=DEFAULT_PORT, library=None, flush_interval=2.0,
+          announce=print):
+    """Blocking entry point: build the session, serve until shutdown.
+
+    Runs until a ``shutdown`` request or ``KeyboardInterrupt``; either
+    way the store gets a final flush, so everything the service
+    computed stays warm for the next one.
+    """
+    session = Session(library=library, cache_dir=cache_dir)
+
+    async def _main():
+        service = ExplorationService(session, workers=workers,
+                                     flush_interval=flush_interval)
+        await service.start(host=host, port=port)
+        if announce is not None:
+            announce("serving on %s:%d (workers=%d, cache_dir=%s)"
+                     % (service.address[0], service.address[1],
+                        workers, cache_dir or "none"))
+        try:
+            await service.run_until_shutdown()
+        except asyncio.CancelledError:
+            await service.stop()
+            raise
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        session.save_store()
+        if announce is not None:
+            announce("interrupted; store flushed")
+    return session

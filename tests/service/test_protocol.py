@@ -1,0 +1,112 @@
+"""Tests for the service wire protocol (framing and validation)."""
+
+import json
+
+import pytest
+
+from repro.engine import DesignPoint
+from repro.io.serialize import design_point_to_dict
+from repro.service import protocol
+from repro.service.protocol import (
+    MAX_BATCH_POINTS,
+    ProtocolError,
+    decode_request,
+    encode,
+    job_name,
+    submission_points,
+)
+
+
+def line(message):
+    return json.dumps(message).encode("utf-8")
+
+
+class TestFraming:
+    def test_encode_is_one_line(self):
+        data = encode({"op": "ping"})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert json.loads(data) == {"op": "ping"}
+
+    def test_decode_roundtrip(self):
+        request = decode_request(encode({"op": "status", "job": "job-1"}))
+        assert request["op"] == "status"
+        assert request["job"] == "job-1"
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"not json at all\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"[1, 2, 3]\n")
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_request(line({"op": "launch-missiles"}))
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(ProtocolError):
+            decode_request(line({"points": []}))
+
+    def test_rejects_oversized_line(self):
+        huge = line({"op": "ping", "pad": "x" * protocol.MAX_LINE_BYTES})
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_request(huge)
+
+    def test_ok_and_error_builders(self):
+        assert protocol.ok(job="job-1") == {"ok": True, "job": "job-1"}
+        rejected = protocol.error(ProtocolError("nope"))
+        assert rejected["ok"] is False
+        assert rejected["error"] == "nope"
+
+
+class TestSubmission:
+    def request(self, points):
+        return {"op": "submit", "points": points}
+
+    def test_accepts_valid_points(self):
+        points = [design_point_to_dict(DesignPoint(app="hal")),
+                  design_point_to_dict(DesignPoint(app="man",
+                                                   area=4000.0))]
+        decoded = submission_points(self.request(points))
+        assert decoded == [DesignPoint(app="hal"),
+                           DesignPoint(app="man", area=4000.0)]
+
+    def test_rejects_missing_points(self):
+        with pytest.raises(ProtocolError, match="points"):
+            submission_points({"op": "submit"})
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ProtocolError):
+            submission_points(self.request([]))
+
+    def test_rejects_oversized_batch(self):
+        point = design_point_to_dict(DesignPoint(app="hal"))
+        with pytest.raises(ProtocolError, match="batch cap"):
+            submission_points(self.request(
+                [point] * (MAX_BATCH_POINTS + 1)))
+
+    def test_rejects_structurally_bad_point_by_position(self):
+        good = design_point_to_dict(DesignPoint(app="hal"))
+        bad = dict(good, policy="greedy")
+        with pytest.raises(ProtocolError, match=r"points\[1\]"):
+            submission_points(self.request([good, bad]))
+
+    def test_accepts_unknown_app(self):
+        """Unknown apps are a per-point evaluation error, not a
+        submission rejection."""
+        point = design_point_to_dict(DesignPoint(app="mystery"))
+        assert submission_points(self.request([point]))[0].app \
+            == "mystery"
+
+
+class TestJobName:
+    def test_extracts_job(self):
+        assert job_name({"op": "status", "job": "job-7"}) == "job-7"
+
+    def test_rejects_missing_or_bad_job(self):
+        for request in ({"op": "status"}, {"op": "status", "job": 7},
+                        {"op": "status", "job": ""}):
+            with pytest.raises(ProtocolError):
+                job_name(request)

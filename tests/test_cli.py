@@ -200,3 +200,132 @@ class TestCacheStoreCommands:
     def test_table1_rejects_zero_workers(self):
         with pytest.raises(SystemExit):
             main(["table1", "--apps", "hal", "--workers", "0"])
+
+
+class TestServiceParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.cache_dir is None
+        assert args.workers == 1
+        assert args.host == "127.0.0.1"
+        assert args.port == 7421
+        assert args.flush_interval == 2.0
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--cache-dir", "/tmp/store", "--workers", "3",
+             "--port", "7500"])
+        assert args.cache_dir == "/tmp/store"
+        assert args.workers == 3
+        assert args.port == 7500
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit"])
+        assert args.apps is None
+        assert args.fractions == [0.5, 0.75, 1.0]
+        assert args.wait is False
+
+    def test_submit_wait(self):
+        args = build_parser().parse_args(
+            ["submit", "--apps", "hal", "--wait"])
+        assert args.apps == ["hal"]
+        assert args.wait is True
+
+    def test_results_requires_job(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["results"])
+        args = build_parser().parse_args(["results", "--job", "job-1"])
+        assert args.job == "job-1"
+
+    def test_cancel_requires_job(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cancel"])
+
+    def test_status_job_optional(self):
+        assert build_parser().parse_args(["status"]).job is None
+
+
+class TestUniformCacheDir:
+    """Every engine-running command accepts --cache-dir (ISSUE 3)."""
+
+    @pytest.mark.parametrize("command", [
+        ["table1"], ["fig3"], ["s51"], ["iterate"], ["allocate"],
+        ["multiasic"], ["sweep"], ["serve"],
+    ])
+    def test_flag_parses(self, command):
+        args = build_parser().parse_args(
+            command + ["--cache-dir", "/tmp/store"])
+        assert args.cache_dir == "/tmp/store"
+
+    def test_warm_store_shared_across_commands(self, tmp_path, capsys):
+        """allocate/fig3/s51/iterate against one store: the second
+        command replays stages the first one spilled."""
+        cache_dir = str(tmp_path / "store")
+        assert main(["allocate", "--app", "hal",
+                     "--cache-dir", cache_dir]) == 0
+        from repro.engine import Session
+
+        warm = Session(cache_dir=cache_dir)
+        program = warm.program("hal")
+        warm.restrictions(program.bsbs)
+        assert warm.stats.hit_count("restrictions") == 1
+
+    def test_fig3_with_cache_dir_matches_plain(self, tmp_path, capsys):
+        assert main(["fig3", "--app", "hal"]) == 0
+        plain = capsys.readouterr().out
+        cache_dir = str(tmp_path / "store")
+        assert main(["fig3", "--app", "hal",
+                     "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert main(["fig3", "--app", "hal",
+                     "--cache-dir", cache_dir]) == 0
+        warm = capsys.readouterr().out
+        assert cold == plain
+        assert warm == plain
+
+    def test_multiasic_with_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["multiasic", "--app", "hal", "--chips", "2",
+                     "--cache-dir", cache_dir]) == 0
+        assert "total speed-up" in capsys.readouterr().out
+        import os
+
+        assert os.path.isdir(cache_dir)
+
+
+class TestPointLineRendering:
+    def test_default_area_is_not_zero(self, capsys):
+        from repro.cli import _print_point_line
+        from repro.engine import DesignPoint, PointResult
+
+        result = PointResult(point=DesignPoint(app="hal"),
+                             allocation=None, speedup=100.0,
+                             datapath_area=2000.0)
+        _print_point_line(0, result)
+        output = capsys.readouterr().out
+        assert "area default" in output
+        assert "area 0" not in output
+
+    def test_explicit_area_rendered(self, capsys):
+        from repro.cli import _print_point_line
+        from repro.engine import DesignPoint, PointResult
+
+        result = PointResult(point=DesignPoint(app="hal", area=4200.0),
+                             allocation=None, speedup=100.0,
+                             datapath_area=2000.0)
+        _print_point_line(1, result)
+        assert "area 4200" in capsys.readouterr().out
+
+    def test_error_and_cancelled_lines(self, capsys):
+        from repro.cli import _print_point_line
+        from repro.engine import DesignPoint
+        from repro.engine.design_point import failed_point_result
+        from repro.errors import ReproError
+
+        failed = failed_point_result(DesignPoint(app="nope"),
+                                     ReproError("unknown app"))
+        _print_point_line(2, failed)
+        _print_point_line(3, None)
+        output = capsys.readouterr().out
+        assert "ERROR ReproError" in output
+        assert "cancelled" in output

@@ -121,3 +121,123 @@ class TestFileRoundtrip:
         loaded = allocation_from_dict(load_json(path), library=library)
         after = evaluate_allocation(two_bsbs, loaded, architecture)
         assert after.speedup == pytest.approx(before.speedup)
+
+
+class TestDesignPointRoundtrip:
+    def test_roundtrip(self):
+        from repro.engine import DesignPoint
+        from repro.io.serialize import (design_point_from_dict,
+                                        design_point_to_dict)
+
+        point = DesignPoint(app="hal", area=4000.0, policy="balanced",
+                            quanta=120, comm_cycles_per_word=2.0)
+        assert design_point_from_dict(design_point_to_dict(point)) \
+            == point
+
+    def test_roundtrip_defaults(self):
+        from repro.engine import DesignPoint
+        from repro.io.serialize import (design_point_from_dict,
+                                        design_point_to_dict)
+
+        point = DesignPoint(app="man")
+        again = design_point_from_dict(design_point_to_dict(point))
+        assert again == point
+        assert again.area is None
+
+    def test_json_roundtrip_is_exact(self):
+        import json
+
+        from repro.engine import DesignPoint
+        from repro.io.serialize import (design_point_from_dict,
+                                        design_point_to_dict)
+
+        point = DesignPoint(app="hal", area=0.1 + 0.2)
+        wire = json.loads(json.dumps(design_point_to_dict(point)))
+        assert design_point_from_dict(wire).area == point.area
+
+    def test_rejects_wrong_kind(self):
+        from repro.io.serialize import design_point_from_dict
+
+        with pytest.raises(ReproError):
+            design_point_from_dict({"kind": "allocation", "version": 1})
+
+    def test_rejects_wrong_version(self):
+        from repro.io.serialize import design_point_from_dict
+
+        with pytest.raises(ReproError):
+            design_point_from_dict({"kind": "design-point",
+                                    "version": 99, "app": "hal"})
+
+    def test_rejects_structural_garbage(self):
+        from repro.io.serialize import design_point_from_dict
+
+        for bad in ({"kind": "design-point", "version": 1, "app": None},
+                    {"kind": "design-point", "version": 1, "app": "hal",
+                     "area": "wide"},
+                    {"kind": "design-point", "version": 1, "app": "hal",
+                     "policy": "greedy"},
+                    {"kind": "design-point", "version": 1, "app": "hal",
+                     "quanta": 0}):
+            with pytest.raises(ReproError):
+                design_point_from_dict(bad)
+
+    def test_accepts_unknown_app_name(self):
+        """Unknown apps fail at evaluation (per-point), not parse."""
+        from repro.io.serialize import (design_point_from_dict,
+                                        design_point_to_dict)
+        from repro.engine import DesignPoint
+
+        point = design_point_from_dict(design_point_to_dict(
+            DesignPoint(app="not-a-benchmark")))
+        assert point.app == "not-a-benchmark"
+
+
+class TestPointResultRoundtrip:
+    def test_roundtrip_success(self):
+        from repro.engine import DesignPoint, Session
+        from repro.io.serialize import (point_result_from_dict,
+                                        point_result_to_dict)
+
+        result = Session().evaluate_point(
+            DesignPoint(app="straight", quanta=80))
+        again = point_result_from_dict(point_result_to_dict(result))
+        assert again.point == result.point
+        assert again.speedup == result.speedup
+        assert again.datapath_area == result.datapath_area
+        assert again.hw_names == tuple(result.hw_names)
+        assert again.allocation == result.allocation
+        assert again.error is None and again.ok
+        assert again.evaluation is None  # wire format drops the graph
+
+    def test_roundtrip_failure(self):
+        from repro.engine import DesignPoint
+        from repro.engine.design_point import failed_point_result
+        from repro.io.serialize import (point_result_from_dict,
+                                        point_result_to_dict)
+
+        failed = failed_point_result(DesignPoint(app="nope"),
+                                     ReproError("unknown app"))
+        again = point_result_from_dict(point_result_to_dict(failed))
+        assert not again.ok
+        assert again.error.kind == "ReproError"
+        assert again.error.message == "unknown app"
+        assert again.allocation is None
+
+    def test_rejects_wrong_kind(self):
+        from repro.io.serialize import point_result_from_dict
+
+        with pytest.raises(ReproError):
+            point_result_from_dict({"kind": "design-point",
+                                    "version": 1})
+
+    def test_validates_allocation_against_library(self, library):
+        from repro.engine import DesignPoint, Session
+        from repro.io.serialize import (point_result_from_dict,
+                                        point_result_to_dict)
+
+        result = Session().evaluate_point(
+            DesignPoint(app="straight", quanta=80))
+        data = point_result_to_dict(result)
+        data["allocation"]["units"] = {"warp-core": 1}
+        with pytest.raises(ResourceError):
+            point_result_from_dict(data, library=library)
