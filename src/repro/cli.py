@@ -15,8 +15,13 @@ Usage (after ``pip install -e .``)::
                                     # persistent store: reruns are warm
     lycos-repro cache info --cache-dir .lycos-cache
                                     # inspect / clear the store
+    lycos-repro cache compact --cache-dir .lycos-cache --max-bytes 2000000
+                                    # LRU-evict down to a size budget
     lycos-repro serve --cache-dir .lycos-cache --workers 2
                                     # exploration service over one store
+    lycos-repro serve --host 0.0.0.0 --token-file /run/secret --scheduler fair \
+                      --queue-cap 8192 --job-ttl 3600 --max-jobs 64
+                                    # hardened multi-tenant service
     lycos-repro submit --apps hal --fractions 0.5 1.0 --wait
                                     # queue a grid on the service
     lycos-repro status --job job-1  # poll a submitted job
@@ -63,6 +68,34 @@ def _add_service_address(parser):
                         help="service address (default: %(default)s)")
     parser.add_argument("--port", type=int, default=7421,
                         help="service port (default: %(default)s)")
+
+
+def _add_token_arguments(parser):
+    parser.add_argument("--token", default=None,
+                        help="shared auth token (prefer --token-file: "
+                             "argv is visible to other processes)")
+    parser.add_argument("--token-file", default=None,
+                        help="file holding the shared auth token "
+                             "(stripped of surrounding whitespace)")
+
+
+def _resolve_token(args):
+    """The shared token of --token/--token-file, or None."""
+    if args.token is not None and args.token_file is not None:
+        raise SystemExit("pass --token or --token-file, not both")
+    if args.token_file is not None:
+        try:
+            with open(args.token_file, "r", encoding="utf-8") as handle:
+                token = handle.read().strip()
+        except OSError as exc:
+            raise SystemExit("cannot read --token-file: %s" % exc)
+        if not token:
+            raise SystemExit("--token-file %s is empty"
+                             % args.token_file)
+        return token
+    if args.token is not None and not args.token:
+        raise SystemExit("--token must not be empty")
+    return args.token
 
 
 def _session(args):
@@ -188,12 +221,22 @@ def build_parser():
                             "pipeline stages from disk")
 
     cache = commands.add_parser(
-        "cache", help="inspect or clear a persistent engine store")
-    cache.add_argument("action", choices=["info", "clear"],
+        "cache", help="inspect, compact or clear a persistent engine "
+                      "store")
+    cache.add_argument("action", choices=["info", "compact", "clear"],
                        help="info: per-stage entry counts and sizes; "
+                            "compact: LRU-evict to a size/age budget; "
                             "clear: delete every shard")
     cache.add_argument("--cache-dir", required=True,
                        help="store directory to operate on")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="compact: evict least-recently-used "
+                            "entries until the store fits this many "
+                            "bytes")
+    cache.add_argument("--max-age", type=float, default=None,
+                       metavar="SECONDS",
+                       help="compact: evict entries not used for this "
+                            "many seconds")
 
     serve = commands.add_parser(
         "serve", help="run the exploration service: concurrent clients "
@@ -207,6 +250,26 @@ def build_parser():
     serve.add_argument("--flush-interval", type=float, default=2.0,
                        help="seconds between store flushes while busy "
                             "(default: %(default)s)")
+    serve.add_argument("--scheduler", default="fifo",
+                       choices=["fifo", "sjf", "fair"],
+                       help="queue policy: fifo (submission order), "
+                            "sjf (smallest job first), fair "
+                            "(per-client weighted round-robin) "
+                            "(default: %(default)s)")
+    serve.add_argument("--queue-cap", type=int, default=None,
+                       help="max admitted-but-unfinished points; an "
+                            "over-cap submit is rejected with a "
+                            "retry-after hint (default: unbounded)")
+    serve.add_argument("--job-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="drop finished jobs (and their results) "
+                            "this long after completion (default: "
+                            "keep forever)")
+    serve.add_argument("--max-jobs", type=int, default=None,
+                       help="retain at most this many finished jobs, "
+                            "oldest evicted first (default: "
+                            "unbounded)")
+    _add_token_arguments(serve)
 
     submit = commands.add_parser(
         "submit", help="submit a design-point grid to a running "
@@ -229,7 +292,11 @@ def build_parser():
     submit.add_argument("--wait", action="store_true",
                         help="stream the results instead of returning "
                              "after the job id")
+    submit.add_argument("--weight", type=int, default=1,
+                        help="fair-scheduler share of this client "
+                             "(default: %(default)s)")
     _add_service_address(submit)
+    _add_token_arguments(submit)
 
     status = commands.add_parser(
         "status", help="poll a service job (or the service itself)")
@@ -237,29 +304,41 @@ def build_parser():
                         help="job id; omitted, pings the service and "
                              "lists every job")
     _add_service_address(status)
+    _add_token_arguments(status)
 
     results = commands.add_parser(
         "results", help="stream a service job's per-point results")
     results.add_argument("--job", required=True, help="job id")
     _add_service_address(results)
+    _add_token_arguments(results)
 
     cancel = commands.add_parser(
         "cancel", help="cancel a service job's pending points")
     cancel.add_argument("--job", required=True, help="job id")
     _add_service_address(cancel)
+    _add_token_arguments(cancel)
     return parser
 
 
 def cmd_table1(args):
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    session = _session(args) if args.cache_dir is not None else None
     rows = table1_rows(names=args.apps, max_evaluations=args.budget,
-                       workers=args.workers, cache_dir=args.cache_dir)
+                       workers=args.workers, session=session)
     print(render_table1(rows))
     for row in rows:
         print()
         print("%s: allocation      %s" % (row.name, row.allocation))
         print("%s: best allocation %s" % (row.name, row.best_allocation))
+    if session is not None:
+        # Store-backed runs report their cache economy (the CI warm
+        # rerun and the compaction check parse this line).
+        stats = session.stats
+        print()
+        print("overall hit rate: %.1f%% (%d hits / %d lookups)"
+              % (100.0 * stats.overall_hit_rate(), stats.hit_count(),
+                 stats.hit_count() + stats.miss_count()))
 
 
 def cmd_fig3(args):
@@ -423,6 +502,14 @@ def cmd_cache(args):
 
     from repro.engine.store import CacheStore
 
+    if args.action == "compact":
+        if args.max_bytes is None and args.max_age is None:
+            raise SystemExit("compact needs --max-bytes and/or "
+                             "--max-age")
+        if args.max_bytes is not None and args.max_bytes < 0:
+            raise SystemExit("--max-bytes must be >= 0")
+        if args.max_age is not None and args.max_age < 0:
+            raise SystemExit("--max-age must be >= 0")
     store = CacheStore(args.cache_dir)
     if not os.path.isdir(store.root):
         # Never create the directory from an inspection command — a
@@ -432,6 +519,17 @@ def cmd_cache(args):
     if args.action == "clear":
         removed = store.clear()
         print("cleared %d shard(s) from %s" % (removed, store.root))
+        return
+    if args.action == "compact":
+        report = store.compact(max_bytes=args.max_bytes,
+                               max_age_seconds=args.max_age)
+        for stage in sorted(report["stages"]):
+            kept, dropped = report["stages"][stage]
+            print("%-12s kept %6d  dropped %6d" % (stage, kept,
+                                                   dropped))
+        print("compacted %s: %d kept, %d dropped, %d -> %d bytes"
+              % (store.root, report["kept"], report["dropped"],
+                 report["bytes_before"], report["bytes_after"]))
         return
     report = store.info()
     if not report:
@@ -449,15 +547,29 @@ def cmd_cache(args):
 
 
 def cmd_serve(args):
-    from repro.service.server import serve
+    from repro.service.server import LOOPBACK_HOSTS, serve
 
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
     if args.flush_interval < 0:
         raise SystemExit("--flush-interval must be >= 0")
+    if args.queue_cap is not None and args.queue_cap < 1:
+        raise SystemExit("--queue-cap must be >= 1")
+    if args.job_ttl is not None and args.job_ttl < 0:
+        raise SystemExit("--job-ttl must be >= 0")
+    if args.max_jobs is not None and args.max_jobs < 0:
+        raise SystemExit("--max-jobs must be >= 0")
+    token = _resolve_token(args)
+    if token is None and args.host not in LOOPBACK_HOSTS:
+        raise SystemExit("refusing to bind %s without --token/"
+                         "--token-file; an open service beyond "
+                         "loopback hands the store to the network"
+                         % args.host)
     serve(cache_dir=args.cache_dir, workers=args.workers,
           host=args.host, port=args.port,
-          flush_interval=args.flush_interval)
+          flush_interval=args.flush_interval, token=token,
+          scheduler=args.scheduler, queue_cap=args.queue_cap,
+          job_ttl=args.job_ttl, max_jobs=args.max_jobs)
 
 
 def _print_point_line(index, result):
@@ -485,16 +597,29 @@ def _print_job_status(status):
     lookups = status["hits"] + status["misses"]
     print("hit rate: %.1f%% (%d hits / %d lookups)"
           % (100.0 * status["hit_rate"], status["hits"], lookups))
+    if status.get("expires_in") is not None:
+        print("retention: expires in %.1fs (completed-job GC)"
+              % status["expires_in"])
+
+
+def _service_client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(host=args.host, port=args.port,
+                         token=_resolve_token(args))
 
 
 def cmd_submit(args):
-    from repro.service.client import ServiceClient
-
     _check_grid_args(args)
+    if args.weight < 1:
+        raise SystemExit("--weight must be >= 1")
     points = _grid_points(args.apps, args.fractions, args.policies,
                           args.quanta)
-    client = ServiceClient(host=args.host, port=args.port)
-    job = client.submit(points)
+    client = _service_client(args)
+    job = client.submit(points, weight=args.weight)
+    if client.last_submit_rejections:
+        print("admitted after %d queue-full rejection(s)"
+              % client.last_submit_rejections)
     print("submitted %s (%d points)" % (job, len(points)))
     if not args.wait:
         return
@@ -504,32 +629,30 @@ def cmd_submit(args):
 
 
 def cmd_status(args):
-    from repro.service.client import ServiceClient
-
-    client = ServiceClient(host=args.host, port=args.port)
+    client = _service_client(args)
     if args.job is not None:
         _print_job_status(client.status(args.job))
         return
     info = client.ping()
-    print("service up: protocol v%d, %d worker(s), %d job(s)"
-          % (info["protocol"], info["workers"], info["jobs"]))
+    cap = info.get("queue_cap")
+    print("service up: protocol v%d, %d worker(s), %d job(s), "
+          "scheduler %s, depth %d/%s"
+          % (info["protocol"], info["workers"], info["jobs"],
+             info.get("scheduler", "fifo"), info.get("depth", 0),
+             "unbounded" if cap is None else cap))
     for status in client.jobs():
         _print_job_status(status)
 
 
 def cmd_results(args):
-    from repro.service.client import ServiceClient
-
-    client = ServiceClient(host=args.host, port=args.port)
+    client = _service_client(args)
     for index, result in client.results(args.job):
         _print_point_line(index, result)
     _print_job_status(client.last_status)
 
 
 def cmd_cancel(args):
-    from repro.service.client import ServiceClient
-
-    client = ServiceClient(host=args.host, port=args.port)
+    client = _service_client(args)
     _print_job_status(client.cancel(args.job))
 
 

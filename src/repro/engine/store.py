@@ -169,6 +169,11 @@ class CacheStore:
         # Stage -> {stable key: value} absorbed from worker deltas;
         # written out (then dropped) by the next flush.
         self._absorbed = {}
+        # Stage -> stable keys *used* (hydrated into a live cache)
+        # since the last stamp write; the LRU side of compaction.  A
+        # warm run that computes nothing still refreshes these, so
+        # recently-replayed entries survive a compact.
+        self._touched = {}
         # Monotonic timestamp of the last flush() attempt, for the
         # rate-limited maybe_flush() the exploration service uses.
         self._last_flush = None
@@ -438,6 +443,8 @@ class CacheStore:
                     grown += 1
                     self._hydrated_keys.setdefault(stage, set()).add(
                         volatile_key)
+                    self._touched.setdefault(stage, set()).add(
+                        stable_key)
                 done.append(stable_key)
             for stable_key in done:
                 del pending[stable_key]
@@ -463,6 +470,8 @@ class CacheStore:
                         self._clean_counts.get("partitions", 0) + 1
                     self._hydrated_keys.setdefault("partitions",
                                                    set()).add(volatile_key)
+                    self._touched.setdefault("partitions", set()).add(
+                        stable_key)
                 done.append(stable_key)
             for stable_key in done:
                 del pending[stable_key]
@@ -575,6 +584,12 @@ class CacheStore:
                             % (cache,))
         self._last_flush = time.monotonic()
         if not self._needs_flush(cache):
+            # Nothing to spill, but a warm run still refreshed entry
+            # stamps — persist them or the LRU would see replayed
+            # entries as stale and compact them away.
+            if self._touched:
+                with self._flush_lock():
+                    self._stamp_entries({})
             return 0
         with self._flush_lock():
             return self._flush_locked(cache)
@@ -605,6 +620,7 @@ class CacheStore:
 
     def _flush_locked(self, cache):
         written = 0
+        fresh = {}  # stage -> stable keys this flush (re)wrote
         for stage, schema in STAGE_SCHEMAS.items():
             source = getattr(cache, stage)
             absorbed = self._absorbed.get(stage)
@@ -613,15 +629,20 @@ class CacheStore:
                 continue  # add-only memo, unchanged since last sync
             merged = self._load_shard(stage)
             merged.update(self._stable.get(stage, {}))  # still-pending
+            live = set()
             if absorbed:
                 merged.update(absorbed)
+                live.update(absorbed)
             for volatile_key, value in source.items():
                 ok, stable_key = self._encode_key(schema, volatile_key)
                 if ok:
                     merged[stable_key] = value
+                    live.add(stable_key)
             if merged:
                 self._write_shard(stage, merged)
                 written += len(merged)
+            if live:
+                fresh[stage] = live
             self._absorbed.pop(stage, None)
             self._clean_counts[stage] = len(source)
         absorbed = self._absorbed.get("partitions")
@@ -631,18 +652,24 @@ class CacheStore:
                         in self._stable_cost_objects(cache).items()}
             merged = self._load_shard("partitions")
             merged.update(self._stable.get("partitions", {}))
+            live = set()
             if absorbed:
                 merged.update(absorbed)
+                live.update(absorbed)
             for volatile_key, value in cache.partitions.items():
                 stable_key = self._encode_partition_key(volatile_key,
                                                         cost_ids)
                 if stable_key is not None:
                     merged[stable_key] = value
+                    live.add(stable_key)
             if merged:
                 self._write_shard("partitions", merged)
                 written += len(merged)
+            if live:
+                fresh["partitions"] = live
             self._absorbed.pop("partitions", None)
             self._clean_counts["partitions"] = len(cache.partitions)
+        self._stamp_entries(fresh)
         return written
 
     def _encode_partition_key(self, volatile_key, cost_ids):
@@ -661,8 +688,177 @@ class CacheStore:
         return (tuple(cost_keys), comm, available, quanta)
 
     # ------------------------------------------------------------------
+    # LRU stamps: when was each shard entry last written or replayed
+    # ------------------------------------------------------------------
+    def _lru_path(self):
+        return os.path.join(self.root, "lru.v%d.meta" % STORE_VERSION)
+
+    def _load_lru(self):
+        """{stage: {stable key: last-used unix time}}; {} on damage."""
+        try:
+            with open(self._lru_path(), "rb") as handle:
+                data = pickle.load(handle)
+        except Exception:
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def _write_lru(self, stamps):
+        """Atomically replace the stamp file (write-temp + rename)."""
+        os.makedirs(self.root, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".lru.", suffix=".tmp", dir=self.root)
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(stamps, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, self._lru_path())
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def _stamp_entries(self, fresh_by_stage):
+        """Refresh last-used stamps; the caller holds the flush lock.
+
+        ``fresh_by_stage`` holds the stable keys a flush just wrote
+        (live cache entries *are* in use); the buffered ``_touched``
+        keys — entries a hydrate replayed into a cache — join them.
+        Untouched disk entries keep their old stamps, which is what
+        makes :meth:`compact` an LRU.
+        """
+        now = time.time()
+        stamps = None
+        for source in (self._touched, fresh_by_stage):
+            for stage, keys in source.items():
+                if not keys:
+                    continue
+                if stamps is None:
+                    stamps = self._load_lru()
+                bucket = stamps.setdefault(stage, {})
+                for stable_key in keys:
+                    bucket[stable_key] = now
+        self._touched = {}
+        if stamps is not None:
+            self._write_lru(stamps)
+
+    # ------------------------------------------------------------------
     # Inspection / maintenance (the CLI's ``cache`` subcommand)
     # ------------------------------------------------------------------
+    def compact(self, max_bytes=None, max_age_seconds=None):
+        """Drop expired / least-recently-used entries from the shards.
+
+        ``max_age_seconds`` evicts every entry whose last-used stamp is
+        older than that; ``max_bytes`` then evicts oldest-first until
+        the store's estimated payload fits the budget (per-entry
+        pickled sizes — the shard files land at or slightly under the
+        estimate, since pickling a whole dict shares structure).
+        Entries with no stamp (stores written before LRU stamping)
+        count as oldest, so they are the first victims.
+
+        Serialised against concurrent flushers by the same lock the
+        flush path takes, so compaction racing a flush resolves to one
+        of the two orders — never a corrupt shard.  Intended for
+        quiescent stores (the CLI's ``cache compact``): a *live*
+        session still holding dropped entries in memory will write
+        them back on its next flush.
+
+        Returns a report dict: ``kept``/``dropped`` entry counts,
+        ``bytes_before``/``bytes_after`` (actual shard file sizes) and
+        per-stage ``stages: {stage: (kept, dropped)}``.
+        """
+        if max_bytes is None and max_age_seconds is None:
+            from repro.errors import ReproError
+
+            raise ReproError("compact() needs max_bytes and/or "
+                             "max_age_seconds")
+        empty = {"kept": 0, "dropped": 0, "bytes_before": 0,
+                 "bytes_after": 0, "stages": {}}
+        if not os.path.isdir(self.root):
+            return empty  # never conjure a store out of a typo'd path
+        with self._flush_lock():
+            return self._compact_locked(max_bytes, max_age_seconds)
+
+    def _compact_locked(self, max_bytes, max_age_seconds):
+        now = time.time()
+        stamps = self._load_lru()
+        shards = {}
+        bytes_before = 0
+        for stage in PERSISTED_STAGES:
+            try:
+                bytes_before += os.path.getsize(self._shard_path(stage))
+            except OSError:
+                continue
+            shards[stage] = self._load_shard(stage)
+        # One flat (stamp, size, stage, key) list, oldest first.
+        entries = []
+        for stage, data in shards.items():
+            bucket = stamps.get(stage, {})
+            for stable_key, value in data.items():
+                size = (len(pickle.dumps(stable_key,
+                                         pickle.HIGHEST_PROTOCOL))
+                        + len(pickle.dumps(value,
+                                           pickle.HIGHEST_PROTOCOL)))
+                entries.append((bucket.get(stable_key, 0.0), size,
+                                stage, stable_key))
+        victims = set()
+        if max_age_seconds is not None:
+            horizon = now - max_age_seconds
+            victims.update((stage, key)
+                           for stamp, _, stage, key in entries
+                           if stamp <= horizon)
+        if max_bytes is not None:
+            entries.sort(key=lambda entry: (entry[0], entry[1]))
+            total = sum(size for _, size, stage, key in entries
+                        if (stage, key) not in victims)
+            for stamp, size, stage, key in entries:
+                if total <= max_bytes:
+                    break
+                if (stage, key) in victims:
+                    continue
+                victims.add((stage, key))
+                total -= size
+        stages_report = {}
+        for stage, data in shards.items():
+            doomed = [key for key in data if (stage, key) in victims]
+            stages_report[stage] = (len(data) - len(doomed),
+                                    len(doomed))
+            if not doomed:
+                continue
+            for key in doomed:
+                del data[key]
+            if data:
+                self._write_shard(stage, data)
+            else:
+                try:
+                    os.unlink(self._shard_path(stage))
+                except OSError:
+                    pass
+            # Pre-compact in-memory copies must not resurrect victims.
+            self._stable.pop(stage, None)
+        pruned = {}
+        for stage, data in shards.items():
+            bucket = stamps.get(stage, {})
+            kept = {key: bucket[key] for key in data if key in bucket}
+            if kept:
+                pruned[stage] = kept
+        if victims or pruned != stamps:
+            self._write_lru(pruned)
+        bytes_after = 0
+        for stage in shards:
+            try:
+                bytes_after += os.path.getsize(self._shard_path(stage))
+            except OSError:
+                pass
+        return {
+            "kept": sum(kept for kept, _ in stages_report.values()),
+            "dropped": len(victims),
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+            "stages": stages_report,
+        }
+
     def info(self):
         """Per-stage (entries, bytes) of the on-disk store."""
         report = {}
@@ -684,9 +880,14 @@ class CacheStore:
                 removed += 1
             except OSError:
                 pass
+        try:
+            os.unlink(self._lru_path())  # stamps of nothing
+        except OSError:
+            pass
         self._stable.clear()
         self._clean_counts.clear()
         self._absorbed.clear()
+        self._touched.clear()
         return removed
 
     def __repr__(self):

@@ -11,10 +11,21 @@ back engine objects: ``submit`` accepts
 strings, or already-serialised dicts) and ``results`` yields
 ``(index, PointResult)`` pairs — a failed point comes back with
 ``result.error`` set, never as an exception.
+
+Hardening (ISSUE 4): a ``token`` is presented in an auth handshake on
+every connection; a backpressure rejection (the server's structured
+``retry_after``) is retried with capped exponential backoff inside a
+``retry_budget``; and a connection the *server* drops mid-request — an
+unauthenticated link, an oversized line — surfaces as a typed
+:class:`ServiceError` carrying the server's last structured error
+message instead of an opaque ``ConnectionResetError``.
 """
 
+import itertools
 import json
+import os
 import socket
+import time
 
 from repro.engine.design_point import DesignPoint
 from repro.errors import ReproError
@@ -25,9 +36,30 @@ from repro.io.serialize import (
 from repro.service import protocol
 from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
 
+_CLIENT_IDS = itertools.count(1)
+
 
 class ServiceError(ReproError):
-    """The server rejected a request or the reply was unreadable."""
+    """The server rejected a request or the conversation broke down.
+
+    ``response`` holds the server's structured error document when one
+    was read; :attr:`retry_after` is the backpressure hint (seconds)
+    of a queue-full rejection, ``None`` for every other failure.
+    """
+
+    def __init__(self, message, response=None):
+        super().__init__(message)
+        self.response = response if isinstance(response, dict) else None
+
+    @property
+    def retry_after(self):
+        if self.response is None:
+            return None
+        value = self.response.get("retry_after")
+        if isinstance(value, bool) or \
+                not isinstance(value, (int, float)):
+            return None
+        return float(value)
 
 
 class ServiceClient:
@@ -38,13 +70,29 @@ class ServiceClient:
         timeout: Per-socket-operation timeout in seconds.  ``results``
             streams block up to this long *between lines*, so pick it
             larger than the slowest single point you expect.
+        token: Shared auth token; presented in a handshake on every
+            connection (a token against an open server is harmless).
+        client_id: The scheduling identity submissions carry — the
+            ``fair`` scheduler round-robins between these.  Defaults
+            to a per-instance label, so two clients in one process are
+            two lanes.
+        retry_budget: Total seconds :meth:`submit` may spend retrying
+            queue-full rejections before giving up (0 disables).
+        retry_cap: Upper bound on one backoff sleep.
     """
 
     def __init__(self, host=DEFAULT_HOST, port=DEFAULT_PORT,
-                 timeout=120.0):
+                 timeout=120.0, token=None, client_id=None,
+                 retry_budget=60.0, retry_cap=2.0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.token = token
+        self.client_id = client_id if client_id is not None else \
+            "client-%d-%d" % (os.getpid(), next(_CLIENT_IDS))
+        self.retry_budget = float(retry_budget)
+        self.retry_cap = float(retry_cap)
+        self.last_submit_rejections = 0
 
     # ------------------------------------------------------------------
     # Transport
@@ -53,9 +101,49 @@ class ServiceClient:
         return socket.create_connection((self.host, self.port),
                                         timeout=self.timeout)
 
+    def _handshake(self, stream):
+        """Present the token (when any) before the first request."""
+        if self.token is None:
+            return
+        self._send(stream, {"op": "auth", "token": self.token})
+        self._read_line(stream)  # raises ServiceError on rejection
+
+    def _send(self, stream, message):
+        try:
+            stream.write(protocol.encode(message))
+            stream.flush()
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise self._dropped(stream, exc) from exc
+
+    @staticmethod
+    def _dropped(stream, exc):
+        """A typed error for a connection the server tore down mid-
+        request.  The server usually managed to send one structured
+        error line (authentication required, oversized line) before
+        closing; surface that message when it can still be read."""
+        response = None
+        try:
+            line = stream.readline(protocol.MAX_LINE_BYTES + 1)
+            data = json.loads(line.decode("utf-8"))
+            if isinstance(data, dict) and data.get("error"):
+                response = data
+        except Exception:
+            pass  # the teardown outran the error line; generic report
+        if response is not None:
+            return ServiceError("server dropped the connection: %s"
+                                % response["error"], response=response)
+        return ServiceError("server dropped the connection (%s: %s)"
+                            % (type(exc).__name__, exc))
+
     @staticmethod
     def _read_line(stream):
-        line = stream.readline(protocol.MAX_LINE_BYTES + 1)
+        try:
+            line = stream.readline(protocol.MAX_LINE_BYTES + 1)
+        except (ConnectionResetError, BrokenPipeError,
+                socket.timeout) as exc:
+            raise ServiceError("connection lost while waiting for a "
+                               "response (%s: %s)"
+                               % (type(exc).__name__, exc)) from exc
         if not line:
             raise ServiceError("connection closed by the server")
         if len(line) > protocol.MAX_LINE_BYTES:
@@ -69,29 +157,57 @@ class ServiceClient:
         if not isinstance(message, dict):
             raise ServiceError("response must be a JSON object")
         if not message.get("ok", False):
-            raise ServiceError(message.get("error", "request rejected"))
+            raise ServiceError(message.get("error", "request rejected"),
+                               response=message)
         return message
 
     def _request(self, message):
         """Send one request, return its single response line."""
         with self._connect() as sock:
             with sock.makefile("rwb") as stream:
-                stream.write(protocol.encode(message))
-                stream.flush()
+                self._handshake(stream)
+                self._send(stream, message)
                 return self._read_line(stream)
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
     def ping(self):
-        """Server liveness + protocol/worker info."""
+        """Server liveness + protocol/worker/queue info."""
         return self._request({"op": "ping"})
 
-    def submit(self, points):
-        """Submit a batch; returns the job id."""
+    def submit(self, points, weight=1):
+        """Submit a batch; returns the job id.
+
+        A queue-full rejection (the server's ``retry_after`` hint) is
+        retried with capped exponential backoff until ``retry_budget``
+        runs out; :attr:`last_submit_rejections` counts the
+        rejections the final successful (or failed) submit absorbed.
+        ``weight`` is the fair-scheduler share of this client's lane.
+        """
         documents = [self._coerce_point(point) for point in points]
-        response = self._request({"op": "submit", "points": documents})
-        return response["job"]
+        request = {"op": "submit", "points": documents}
+        if self.client_id:
+            request["client"] = self.client_id
+        if weight != 1:
+            request["weight"] = weight
+        self.last_submit_rejections = 0
+        deadline = time.monotonic() + max(0.0, self.retry_budget)
+        attempt = 0
+        while True:
+            try:
+                return self._request(request)["job"]
+            except ServiceError as exc:
+                hint = exc.retry_after
+                if hint is None:
+                    raise  # not a backpressure rejection
+                wait = min(self.retry_cap,
+                           max(0.01, hint) * (2 ** attempt))
+                if time.monotonic() + wait > deadline:
+                    raise
+                self.last_submit_rejections += 1
+                attempt += 1
+                time.sleep(wait)
 
     def status(self, job_id):
         """The job's status document."""
@@ -121,9 +237,8 @@ class ServiceClient:
         self.last_status = None
         with self._connect() as sock:
             with sock.makefile("rwb") as stream:
-                stream.write(protocol.encode(
-                    {"op": "results", "job": job_id}))
-                stream.flush()
+                self._handshake(stream)
+                self._send(stream, {"op": "results", "job": job_id})
                 header = self._read_line(stream)
                 if not header.get("streaming"):
                     raise ServiceError("expected a results stream, got "

@@ -6,6 +6,7 @@ line(s) back.  Every message is a JSON object; requests carry an
 to be driven by hand (``nc localhost 7421``) as much as by the
 :mod:`~repro.service.client`:
 
+    {"op": "auth", "token": "..."}
     {"op": "ping"}
     {"op": "submit", "points": [{"kind": "design-point", ...}, ...]}
     {"op": "status", "job": "job-1"}
@@ -21,11 +22,19 @@ submission are the same document.  Malformed requests are *rejected*
 any running job; only framing violations (a line past
 :data:`MAX_LINE_BYTES`) drop the connection.
 
-The service authenticates nobody and binds loopback by default — it is
-an engine frontend for mutually trusting local clients, exactly like
-the pickle-shard store it sits on (see the trust note in
-:mod:`repro.engine.store`).  Auth and backpressure are recorded as
-ROADMAP follow-ons.
+Auth: a server started with a shared token requires each connection's
+*first* request to be ``{"op": "auth", "token": ...}`` (compared in
+constant time); any other request on an unauthenticated connection is
+rejected with ``auth_required`` set and the connection is dropped
+before any job state exists.  Without a token (the loopback default)
+the handshake is a no-op and a token-carrying client still works.
+
+Backpressure: when the server's pending-point cap is reached, a submit
+is rejected with ``retry_after`` (seconds) in the error document; the
+:class:`~repro.service.client.ServiceClient` retries such rejections
+with capped exponential backoff.  Submissions may carry an optional
+``client`` label and ``weight`` (see :func:`submission_meta`) that the
+``fair`` scheduler uses for per-client weighted round-robin.
 """
 
 import json
@@ -44,8 +53,14 @@ MAX_LINE_BYTES = 1 << 20
 MAX_BATCH_POINTS = 4096
 
 #: Every operation the server understands.
-OPS = ("ping", "submit", "status", "results", "cancel", "jobs",
+OPS = ("auth", "ping", "submit", "status", "results", "cancel", "jobs",
        "shutdown")
+
+#: Cap on the optional per-submission client label.
+MAX_CLIENT_CHARS = 200
+
+#: Cap on the optional per-submission fair-scheduler weight.
+MAX_WEIGHT = 100
 
 
 class ProtocolError(ReproError):
@@ -102,6 +117,35 @@ def submission_points(request):
     return decoded
 
 
+def submission_meta(request):
+    """The validated ``(client, weight)`` of a submit request.
+
+    Both are optional — ``client`` (a label the ``fair`` scheduler
+    buckets by) defaults to the anonymous lane, ``weight`` to 1 — but
+    when present they must be well-formed, like any other field.
+    """
+    client = request.get("client", "")
+    if client is None:
+        client = ""
+    if not isinstance(client, str) or len(client) > MAX_CLIENT_CHARS:
+        raise ProtocolError("'client' must be a string of at most %d "
+                            "characters" % MAX_CLIENT_CHARS)
+    weight = request.get("weight", 1)
+    if isinstance(weight, bool) or not isinstance(weight, int) \
+            or not 1 <= weight <= MAX_WEIGHT:
+        raise ProtocolError("'weight' must be an integer in [1, %d]"
+                            % MAX_WEIGHT)
+    return client, weight
+
+
+def auth_token(request):
+    """The token string of an auth request; loud when malformed."""
+    token = request.get("token")
+    if not isinstance(token, str) or not token:
+        raise ProtocolError("auth needs a non-empty 'token' string")
+    return token
+
+
 def job_name(request):
     """The job id a status/results/cancel request names."""
     job = request.get("job")
@@ -117,6 +161,10 @@ def ok(**fields):
     return response
 
 
-def error(message):
-    """A rejection response."""
-    return {"ok": False, "error": str(message)}
+def error(message, **fields):
+    """A rejection response; ``fields`` carry structured detail
+    (``retry_after`` on a backpressure rejection, ``auth_required`` on
+    an unauthenticated request)."""
+    response = {"ok": False, "error": str(message)}
+    response.update(fields)
+    return response

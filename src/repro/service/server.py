@@ -33,21 +33,47 @@ Failure containment: every point is evaluated through
 ``Session.evaluate_point_safe`` — an unknown app or infeasible point
 yields a ``PointResult`` with ``error`` set for *that point only*; the
 job, its siblings and the service keep going.
+
+Operability (the ISSUE 4 hardening):
+
+* ``token`` arms the shared-token handshake — unauthenticated
+  connections are rejected (and dropped) before any job state exists,
+  and :func:`serve` refuses to bind a non-loopback address without
+  one.  The compare is constant-time (:func:`hmac.compare_digest`).
+* ``queue_cap`` bounds the admitted-but-unfinished point count; an
+  over-cap submit is rejected with a structured ``retry_after`` the
+  client backs off on.
+* ``scheduler`` picks the queue policy (``fifo``/``sjf``/``fair``,
+  see :mod:`repro.service.queue`).
+* ``job_ttl``/``max_jobs`` garbage-collect finished jobs, bounding a
+  long-lived service's result-retention memory; GC runs on every
+  request dispatch and job completion.
 """
 
 import asyncio
 import concurrent.futures
+import hmac
 import multiprocessing
 
 from repro.engine.cache import CacheStats
 from repro.engine.session import Session
 from repro.io.serialize import point_result_to_dict
 from repro.service import protocol
-from repro.service.queue import PENDING, RUNNING, JobQueue
+from repro.service.queue import (
+    PENDING,
+    RUNNING,
+    JobQueue,
+    QueueFullError,
+    scheduler_class,
+)
 from repro.errors import ReproError
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7421
+
+#: Hosts a token-less server may bind (the mutually-trusting-local
+#: contract); anything else requires ``token``.
+LOOPBACK_HOSTS = ("127.0.0.1", "::1", "localhost")
 
 
 def _pooled_point(point):
@@ -69,10 +95,19 @@ def _pooled_point(point):
 class ExplorationService:
     """One service instance: session + queue + scheduler + protocol."""
 
-    def __init__(self, session, workers=1, flush_interval=2.0):
+    def __init__(self, session, workers=1, flush_interval=2.0,
+                 token=None, scheduler="fifo", queue_cap=None,
+                 retry_after=0.25, job_ttl=None, max_jobs=None):
+        scheduler_class(scheduler)  # fail at construction, not start()
         self.session = session
         self.workers = max(1, int(workers))
         self.flush_interval = float(flush_interval)
+        self.token = token
+        self.scheduler = scheduler
+        self.queue_cap = queue_cap
+        self.retry_after = float(retry_after)
+        self.job_ttl = job_ttl
+        self.max_jobs = max_jobs
         self.queue = None        # created in start() (needs the loop)
         self.address = None
         self._server = None
@@ -88,7 +123,11 @@ class ExplorationService:
     # ------------------------------------------------------------------
     async def start(self, host=DEFAULT_HOST, port=0):
         """Bind, spin up the scheduler, return self (address set)."""
-        self.queue = JobQueue()
+        self.queue = JobQueue(scheduler=self.scheduler,
+                              max_pending=self.queue_cap,
+                              retry_after=self.retry_after,
+                              job_ttl=self.job_ttl,
+                              max_finished=self.max_jobs)
         self._stopping = asyncio.Event()
         self._engine = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="lycos-engine")
@@ -208,6 +247,7 @@ class ExplorationService:
             pass
         await job.record(index, result, stats_delta)
         if job.finished:
+            self.queue.collect_garbage()
             # A streamed "done" implies durability: force the flush the
             # per-point path only performs on its time budget.
             await self._on_engine(self.session.save_store)
@@ -237,6 +277,7 @@ class ExplorationService:
     async def _handle(self, reader, writer):
         task = asyncio.current_task()
         self._connections.add(task)
+        authenticated = self.token is None
         try:
             while not self._stopping.is_set():
                 try:
@@ -252,6 +293,25 @@ class ExplorationService:
                     break
                 try:
                     request = protocol.decode_request(line)
+                    if request["op"] == "auth":
+                        granted = self._check_token(request)
+                        writer.write(protocol.encode(
+                            protocol.ok(authenticated=True) if granted
+                            else protocol.error("invalid token")))
+                        await writer.drain()
+                        if not granted:
+                            break  # no guessing on one connection
+                        authenticated = True
+                        continue
+                    if not authenticated:
+                        # Rejected (and the link dropped) before any
+                        # job state exists — the auth contract.
+                        writer.write(protocol.encode(protocol.error(
+                            "authentication required: send "
+                            "{\"op\": \"auth\", \"token\": ...} first",
+                            auth_required=True)))
+                        await writer.drain()
+                        break
                     await self._dispatch_request(request, writer)
                 except (protocol.ProtocolError, ReproError) as exc:
                     writer.write(protocol.encode(protocol.error(exc)))
@@ -262,21 +322,42 @@ class ExplorationService:
             self._connections.discard(task)
             writer.close()
 
+    def _check_token(self, request):
+        """Constant-time shared-token check of one auth request."""
+        supplied = protocol.auth_token(request)
+        if self.token is None:
+            return True  # open server: the handshake is a no-op
+        return hmac.compare_digest(supplied.encode("utf-8"),
+                                   self.token.encode("utf-8"))
+
     async def _dispatch_request(self, request, writer):
         op = request["op"]
+        # Retention is enforced at every touch point, so an idle-then
+        # -polled service trims itself before answering.
+        self.queue.collect_garbage()
         if op == "ping":
             writer.write(protocol.encode(protocol.ok(
                 protocol=protocol.PROTOCOL_VERSION,
-                workers=self.workers, jobs=len(self.queue.jobs))))
+                workers=self.workers, jobs=len(self.queue.jobs),
+                scheduler=self.queue.scheduler.name,
+                depth=self.queue.depth,
+                queue_cap=self.queue.max_pending)))
         elif op == "submit":
             points = protocol.submission_points(request)
-            job = self.queue.submit(points)
-            writer.write(protocol.encode(protocol.ok(
-                job=job.id, total=len(job.points))))
+            client, weight = protocol.submission_meta(request)
+            try:
+                job = self.queue.submit(points, client=client,
+                                        weight=weight)
+            except QueueFullError as exc:
+                writer.write(protocol.encode(protocol.error(
+                    exc, retry_after=exc.retry_after)))
+            else:
+                writer.write(protocol.encode(protocol.ok(
+                    job=job.id, total=len(job.points))))
         elif op == "status":
             job = self.queue.get(protocol.job_name(request))
             writer.write(protocol.encode(protocol.ok(
-                status=job.status())))
+                status=self.queue.status(job))))
         elif op == "results":
             job = self.queue.get(protocol.job_name(request))
             await self._stream_results(job, writer)
@@ -286,10 +367,10 @@ class ExplorationService:
                 protocol.job_name(request))
             job = self.queue.get(request["job"])
             writer.write(protocol.encode(protocol.ok(
-                cancelled=cancelled, status=job.status())))
+                cancelled=cancelled, status=self.queue.status(job))))
         elif op == "jobs":
             writer.write(protocol.encode(protocol.ok(
-                jobs=[self.queue.jobs[name].status()
+                jobs=[self.queue.status(self.queue.jobs[name])
                       for name in sorted(self.queue.jobs)])))
         elif op == "shutdown":
             writer.write(protocol.encode(protocol.ok(stopping=True)))
@@ -333,29 +414,41 @@ class ExplorationService:
         # a no-op when the engine thread already got there.)
         await self._on_engine(self.session.save_store)
         writer.write(protocol.encode(protocol.ok(
-            done=True, status=job.status())))
+            done=True, status=self.queue.status(job))))
         await writer.drain()
 
 
 def serve(cache_dir=None, workers=1, host=DEFAULT_HOST,
           port=DEFAULT_PORT, library=None, flush_interval=2.0,
-          announce=print):
+          announce=print, token=None, scheduler="fifo", queue_cap=None,
+          job_ttl=None, max_jobs=None):
     """Blocking entry point: build the session, serve until shutdown.
 
     Runs until a ``shutdown`` request or ``KeyboardInterrupt``; either
     way the store gets a final flush, so everything the service
-    computed stays warm for the next one.
+    computed stays warm for the next one.  Binding a non-loopback
+    ``host`` requires ``token`` — an open service beyond localhost
+    would hand the store (and the engine) to the whole network.
     """
+    if token is None and host not in LOOPBACK_HOSTS:
+        raise ReproError(
+            "refusing to bind %s without a token: pass token= "
+            "(--token/--token-file) to serve beyond loopback" % host)
     session = Session(library=library, cache_dir=cache_dir)
 
     async def _main():
         service = ExplorationService(session, workers=workers,
-                                     flush_interval=flush_interval)
+                                     flush_interval=flush_interval,
+                                     token=token, scheduler=scheduler,
+                                     queue_cap=queue_cap,
+                                     job_ttl=job_ttl, max_jobs=max_jobs)
         await service.start(host=host, port=port)
         if announce is not None:
-            announce("serving on %s:%d (workers=%d, cache_dir=%s)"
+            announce("serving on %s:%d (workers=%d, scheduler=%s, "
+                     "cache_dir=%s, auth=%s)"
                      % (service.address[0], service.address[1],
-                        workers, cache_dir or "none"))
+                        workers, scheduler, cache_dir or "none",
+                        "token" if token else "none"))
         try:
             await service.run_until_shutdown()
         except asyncio.CancelledError:

@@ -1,0 +1,243 @@
+"""Tests for store LRU stamping and compaction (ISSUE 4).
+
+The contract: every shard entry carries a last-used stamp (refreshed
+when a flush writes it *or* a hydrate replays it — so a warm run that
+computes nothing still protects its entries), and
+:meth:`CacheStore.compact` evicts by age and/or down to a byte budget,
+oldest first.  Compaction must leave survivors fully warm (>90% hit
+rate), must never corrupt a shard — even racing a concurrent flush on
+the ``O_EXCL`` lock-file fallback path — and evicted entries simply
+recompute cold.
+"""
+
+import os
+import pickle
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.engine import CacheStore, DesignPoint, Session
+from repro.engine.store import PERSISTED_STAGES, STORE_VERSION
+from repro.errors import ReproError
+
+STRAIGHT = DesignPoint(app="straight", area=4000.0, quanta=100)
+HAL = DesignPoint(app="hal", area=5000.0, quanta=100)
+
+
+def lru_path(root):
+    return os.path.join(root, "lru.v%d.meta" % STORE_VERSION)
+
+
+def read_stamps(root):
+    with open(lru_path(root), "rb") as handle:
+        return pickle.load(handle)
+
+
+def shard_keys(root):
+    """{stage: set of stable keys} of every shard on disk."""
+    store = CacheStore(root)
+    keys = {}
+    for stage in PERSISTED_STAGES:
+        data = store._load_shard(stage)
+        if data:
+            keys[stage] = set(data)
+    return keys
+
+
+def run_point(root, point):
+    session = Session(cache_dir=root)
+    result = session.evaluate_point(point)
+    session.save_store()
+    return result
+
+
+class TestLruStamps:
+    def test_flush_stamps_every_written_entry(self, tmp_path):
+        root = str(tmp_path / "store")
+        run_point(root, STRAIGHT)
+        stamps = read_stamps(root)
+        for stage, keys in shard_keys(root).items():
+            assert keys <= set(stamps.get(stage, {})), \
+                "stage %s has unstamped entries" % stage
+
+    def test_warm_replay_refreshes_stamps(self, tmp_path):
+        """A warm run computes nothing new, yet its hydrated entries
+        must be re-stamped — otherwise routinely-used entries would
+        look stale to the LRU and be compacted away."""
+        root = str(tmp_path / "store")
+        run_point(root, STRAIGHT)
+        before = read_stamps(root)
+        time.sleep(0.05)
+        run_point(root, STRAIGHT)  # pure replay
+        after = read_stamps(root)
+        refreshed = sum(
+            1 for stage, bucket in after.items()
+            for key, stamp in bucket.items()
+            if stamp > before.get(stage, {}).get(key, stamp))
+        assert refreshed > 0
+
+    def test_clear_removes_the_stamp_file(self, tmp_path):
+        root = str(tmp_path / "store")
+        run_point(root, STRAIGHT)
+        assert os.path.exists(lru_path(root))
+        CacheStore(root).clear()
+        assert not os.path.exists(lru_path(root))
+
+
+class TestCompactByAge:
+    def stamp_by_app(self, root, fresh_keys, now):
+        """Rewrite the stamp file: ``fresh_keys`` stamped now, every
+        other entry a thousand seconds stale."""
+        stamps = {}
+        for stage, keys in shard_keys(root).items():
+            stamps[stage] = {
+                key: (now if key in fresh_keys.get(stage, set())
+                      else now - 1000.0)
+                for key in keys}
+        with open(lru_path(root), "wb") as handle:
+            pickle.dump(stamps, handle)
+
+    def test_evicts_stale_keeps_fresh_and_survivors_stay_warm(
+            self, tmp_path):
+        # A reference store holding only HAL names the fresh key set
+        # (the pipeline is deterministic, so stable keys match).
+        reference = str(tmp_path / "reference")
+        run_point(reference, HAL)
+        hal_keys = shard_keys(reference)
+
+        root = str(tmp_path / "store")
+        run_point(root, STRAIGHT)
+        run_point(root, HAL)
+        self.stamp_by_app(root, hal_keys, time.time())
+
+        report = CacheStore(root).compact(max_age_seconds=500.0)
+        assert report["dropped"] > 0
+        assert report["bytes_after"] < report["bytes_before"]
+        # Exactly the stale (straight) entries went; hal survived.
+        assert shard_keys(root) == hal_keys
+
+        # Survivors are fully warm: the hal rerun replays everything
+        # the store covers (program compile is the one documented
+        # always-cold stage — see the ROADMAP persistence note).
+        warm = Session(cache_dir=root)
+        warm.evaluate_point(HAL)
+        stats = warm.stats
+        covered = stats.hit_count() + stats.miss_count() \
+            - stats.miss_count("program")
+        assert stats.hit_count() / covered > 0.9
+        assert stats.miss_count() == stats.miss_count("program")
+        assert stats.miss_count("alloc") == 0
+        assert stats.miss_count("eval") == 0
+
+        # The evicted app recomputes cold — and correctly.
+        cold = Session(cache_dir=root)
+        result = cold.evaluate_point(STRAIGHT)
+        assert cold.stats.miss_count("eval") >= 1
+        assert result.speedup == \
+            Session().evaluate_point(STRAIGHT).speedup
+
+    def test_zero_age_empties_the_store(self, tmp_path):
+        root = str(tmp_path / "store")
+        run_point(root, STRAIGHT)
+        report = CacheStore(root).compact(max_age_seconds=0.0)
+        assert report["kept"] == 0
+        assert CacheStore(root).info() == {}
+        # A later session simply starts cold and repopulates.
+        run_point(root, STRAIGHT)
+        assert CacheStore(root).info()
+
+
+class TestCompactByBytes:
+    def synthetic_store(self, tmp_path, entries=40, payload=200):
+        """One 'evals' shard of opaque entries with ascending stamps —
+        entry i is strictly more recently used than entry i-1."""
+        root = str(tmp_path / "store")
+        store = CacheStore(root)
+        data = {("key-%03d" % index,): "x" * payload
+                for index in range(entries)}
+        store._write_shard("evals", data)
+        stamps = {"evals": {("key-%03d" % index,): 1000.0 + index
+                            for index in range(entries)}}
+        with open(lru_path(root), "wb") as handle:
+            pickle.dump(stamps, handle)
+        return root, data
+
+    def test_evicts_oldest_first_down_to_the_budget(self, tmp_path):
+        root, data = self.synthetic_store(tmp_path)
+        size = os.path.getsize(
+            os.path.join(root, "evals.v%d.pkl" % STORE_VERSION))
+        report = CacheStore(root).compact(max_bytes=size // 2)
+        assert 0 < report["kept"] < len(data)
+        assert report["bytes_after"] <= size // 2
+        survivors = shard_keys(root)["evals"]
+        # LRU: the survivors are exactly the most recent suffix.
+        expected = {("key-%03d" % index,)
+                    for index in range(len(data) - len(survivors),
+                                       len(data))}
+        assert survivors == expected
+        # Stamps of the victims are pruned with them.
+        assert set(read_stamps(root)["evals"]) == expected
+
+    def test_generous_budget_drops_nothing(self, tmp_path):
+        root, data = self.synthetic_store(tmp_path)
+        report = CacheStore(root).compact(max_bytes=1 << 30)
+        assert report["dropped"] == 0
+        assert set(shard_keys(root)["evals"]) == set(data)
+
+
+class TestCompactEdges:
+    def test_requires_a_budget(self, tmp_path):
+        with pytest.raises(ReproError, match="max_bytes"):
+            CacheStore(str(tmp_path / "store")).compact()
+
+    def test_missing_store_is_a_noop_and_stays_missing(self, tmp_path):
+        root = str(tmp_path / "typo-store")
+        report = CacheStore(root).compact(max_bytes=10)
+        assert report == {"kept": 0, "dropped": 0, "bytes_before": 0,
+                          "bytes_after": 0, "stages": {}}
+        assert not os.path.exists(root)
+
+    def test_compact_racing_a_flush_never_corrupts(self, tmp_path,
+                                                   monkeypatch):
+        """Compaction and flushes share the store lock; on platforms
+        without ``fcntl`` that is the O_EXCL lock-file path — force it
+        and hammer both sides concurrently.  Whatever interleaving
+        wins, every shard must stay a readable dict and a fresh warm
+        session must still match a storeless run bit-for-bit."""
+        monkeypatch.setitem(sys.modules, "fcntl", None)
+        root = str(tmp_path / "store")
+        run_point(root, STRAIGHT)
+        failures = []
+
+        def flusher():
+            try:
+                for step in range(6):
+                    session = Session(cache_dir=root)
+                    session.evaluate_point(DesignPoint(
+                        app="straight", area=3000.0 + 500.0 * step,
+                        quanta=100))
+                    session.save_store()
+            except Exception as exc:  # pragma: no cover
+                failures.append(exc)
+
+        thread = threading.Thread(target=flusher)
+        thread.start()
+        store = CacheStore(root)
+        for _ in range(8):
+            store.compact(max_bytes=1 << 30, max_age_seconds=3600.0)
+        thread.join(60)
+        assert not thread.is_alive()
+        assert not failures, failures
+        # Every shard on disk is a healthy dict...
+        checker = CacheStore(root)
+        for stage in PERSISTED_STAGES:
+            assert isinstance(checker._load_shard(stage), dict)
+        # ...and the store still serves bit-identical results.
+        warm = Session(cache_dir=root)
+        plain = Session()
+        warm_result = warm.evaluate_point(STRAIGHT)
+        plain_result = plain.evaluate_point(STRAIGHT)
+        assert warm_result.speedup == plain_result.speedup
+        assert warm_result.allocation == plain_result.allocation

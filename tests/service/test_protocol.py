@@ -9,10 +9,14 @@ from repro.io.serialize import design_point_to_dict
 from repro.service import protocol
 from repro.service.protocol import (
     MAX_BATCH_POINTS,
+    MAX_CLIENT_CHARS,
+    MAX_WEIGHT,
     ProtocolError,
+    auth_token,
     decode_request,
     encode,
     job_name,
+    submission_meta,
     submission_points,
 )
 
@@ -99,6 +103,50 @@ class TestSubmission:
         point = design_point_to_dict(DesignPoint(app="mystery"))
         assert submission_points(self.request([point]))[0].app \
             == "mystery"
+
+
+class TestSubmissionMeta:
+    def test_defaults_to_anonymous_unit_weight(self):
+        assert submission_meta({"op": "submit"}) == ("", 1)
+        assert submission_meta({"op": "submit", "client": None}) \
+            == ("", 1)
+
+    def test_accepts_client_and_weight(self):
+        request = {"op": "submit", "client": "alice", "weight": 3}
+        assert submission_meta(request) == ("alice", 3)
+
+    def test_rejects_bad_client(self):
+        for client in (42, ["a"], "x" * (MAX_CLIENT_CHARS + 1)):
+            with pytest.raises(ProtocolError, match="client"):
+                submission_meta({"op": "submit", "client": client})
+
+    def test_rejects_bad_weight(self):
+        for weight in (0, -1, MAX_WEIGHT + 1, 1.5, "2", True):
+            with pytest.raises(ProtocolError, match="weight"):
+                submission_meta({"op": "submit", "weight": weight})
+
+
+class TestAuthToken:
+    def test_extracts_token(self):
+        assert auth_token({"op": "auth", "token": "sesame"}) \
+            == "sesame"
+
+    def test_rejects_missing_or_bad_token(self):
+        for request in ({"op": "auth"}, {"op": "auth", "token": ""},
+                        {"op": "auth", "token": 42}):
+            with pytest.raises(ProtocolError, match="token"):
+                auth_token(request)
+
+    def test_auth_is_a_known_op(self):
+        request = decode_request(encode({"op": "auth", "token": "t"}))
+        assert request["op"] == "auth"
+
+
+class TestErrorFields:
+    def test_error_carries_structured_detail(self):
+        rejected = protocol.error("queue full", retry_after=0.5)
+        assert rejected == {"ok": False, "error": "queue full",
+                            "retry_after": 0.5}
 
 
 class TestJobName:

@@ -1,0 +1,229 @@
+"""Property-based fuzz of the service protocol (seeded, deterministic).
+
+Two tiers over one mutation engine:
+
+* Unit tier — thousands of seeded mutations of valid request lines
+  (truncation, junk-byte splices, type swaps, oversized fields,
+  split/merged lines) fed straight through the parser/validators:
+  every input must either decode or raise :class:`ProtocolError` —
+  never any other exception.
+* Server tier — the same mutations over real sockets against a live
+  service (open and token-protected): the server loop must answer
+  every line with a structured error or drop it, stay alive, keep the
+  connection serviceable (a trailing ping still answers) and — on the
+  token-protected server — create no job state whatsoever.
+
+Everything is seeded ``random.Random``; a failure reproduces exactly.
+"""
+
+import json
+import random
+import socket
+
+from repro.engine import DesignPoint
+from repro.io.serialize import design_point_to_dict
+from repro.service import protocol
+from repro.service.protocol import (
+    ProtocolError,
+    auth_token,
+    decode_request,
+    job_name,
+    submission_points,
+    submission_meta,
+)
+
+#: The fuzz submit template uses an unknown app on purpose: if a
+#: mutation survives validation and queues a real job, its points fail
+#: fast per-point instead of grinding the engine.
+FUZZ_POINT = design_point_to_dict(
+    DesignPoint(app="zz-no-such-app", area=1000.0, quanta=60))
+
+
+def valid_requests():
+    """One well-formed request per op (shutdown deliberately absent:
+    a lucky mutation must not stop the server under test)."""
+    return [
+        {"op": "ping"},
+        {"op": "submit", "points": [FUZZ_POINT]},
+        {"op": "submit", "points": [FUZZ_POINT, FUZZ_POINT],
+         "client": "fuzz", "weight": 2},
+        {"op": "status", "job": "job-1"},
+        {"op": "results", "job": "job-1"},
+        {"op": "cancel", "job": "job-1"},
+        {"op": "jobs"},
+        {"op": "auth", "token": "hunter2"},
+    ]
+
+
+#: Replacement values for the type-swap mutator.  No "shutdown": the
+#: swap must never accidentally spell the one op that stops the server.
+JUNK_VALUES = (None, True, False, 0, -1, 3.5, "", "x", [], [1, 2],
+               {}, {"a": 1}, "å∫ç∂", "job-1", [FUZZ_POINT])
+
+
+def mutate(rng, line):
+    """One seeded mutation of an encoded request line."""
+    choice = rng.randrange(6)
+    if choice in (2, 3):
+        # Structural mutators need a parseable document; a line that
+        # is already byte-mangled (double mutation) gets bytes again.
+        try:
+            document = json.loads(line)
+        except ValueError:
+            choice = 1
+    if choice == 0:  # truncation
+        return line[:rng.randrange(len(line))] + b"\n"
+    if choice == 1:  # junk bytes spliced in (incl. invalid UTF-8)
+        position = rng.randrange(len(line))
+        junk = bytes(rng.randrange(256)
+                     for _ in range(rng.randrange(1, 9)))
+        return line[:position] + junk + line[position:]
+    if choice == 2:  # type swap on a random field
+        key = rng.choice(sorted(document))
+        document[key] = rng.choice(JUNK_VALUES)
+        return protocol.encode(document)
+    if choice == 3:  # oversized field (still under the line cap)
+        document["pad"] = "x" * rng.choice((10_000, 200_000))
+        return protocol.encode(document)
+    if choice == 4:  # split: one request arrives as two lines
+        position = rng.randrange(len(line))
+        return line[:position] + b"\n" + line[position:]
+    # merged: two requests on one line
+    return line.rstrip(b"\n") + line
+
+
+def exercise_validators(request):
+    """Run the op-specific validator chain, as the server would."""
+    op = request["op"]
+    if op == "submit":
+        submission_points(request)
+        submission_meta(request)
+    elif op in ("status", "results", "cancel"):
+        job_name(request)
+    elif op == "auth":
+        auth_token(request)
+
+
+class TestUnitFuzz:
+    ROUNDS = 4000
+
+    def test_parser_only_ever_raises_protocol_error(self):
+        rng = random.Random(0xC0FFEE)
+        templates = [protocol.encode(request)
+                     for request in valid_requests()]
+        for _ in range(self.ROUNDS):
+            payload = mutate(rng, rng.choice(templates))
+            for piece in payload.split(b"\n"):
+                if not piece:
+                    continue
+                try:
+                    request = decode_request(piece + b"\n")
+                except ProtocolError:
+                    continue  # structured rejection: the contract
+                try:
+                    exercise_validators(request)
+                except ProtocolError:
+                    pass  # ditto
+
+    def test_double_mutation_still_contained(self):
+        rng = random.Random(20260730)
+        templates = [protocol.encode(request)
+                     for request in valid_requests()]
+        for _ in range(self.ROUNDS // 2):
+            payload = mutate(rng, mutate(rng, rng.choice(templates)))
+            for piece in payload.split(b"\n"):
+                if not piece:
+                    continue
+                try:
+                    exercise_validators(decode_request(piece + b"\n"))
+                except ProtocolError:
+                    pass
+
+
+def send_then_ping(port, payload, ping_line, timeout=20.0):
+    """Fire a fuzz payload then a ping on one connection.
+
+    Returns True when the trailing ping was answered (the connection
+    stayed serviceable); False when the server dropped the link — the
+    only in-protocol reason being a framing violation.  Either way
+    every received line must be structured JSON.
+    """
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=timeout) as sock:
+        if not payload.endswith(b"\n"):
+            payload += b"\n"
+        sock.sendall(payload + ping_line)
+        buffered = b""
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                raise AssertionError(
+                    "server went mute after %r" % payload[:120])
+            if not chunk:
+                return False  # dropped; caller reconnects
+            buffered += chunk
+            # The tail past the last newline is a partial reply line;
+            # keep it buffered for the next chunk.
+            *complete, buffered = buffered.split(b"\n")
+            for line in complete:
+                if not line:
+                    continue
+                document = json.loads(line)  # every reply is JSON
+                assert isinstance(document, dict)
+                assert "ok" in document
+                if document.get("protocol") is not None:
+                    return True  # the trailing ping got through
+
+
+class TestServerFuzz:
+    ROUNDS = 80
+
+    def test_open_server_survives_and_stays_serviceable(
+            self, harness):
+        rng = random.Random(0xF52)
+        templates = [protocol.encode(request)
+                     for request in valid_requests()]
+        ping_line = protocol.encode({"op": "ping"})
+        for _ in range(self.ROUNDS):
+            payload = b"".join(
+                mutate(rng, rng.choice(templates))
+                for _ in range(rng.randrange(1, 4)))
+            send_then_ping(harness.port, payload, ping_line)
+        # The service is intact end-to-end, not just per-connection.
+        assert harness.client().ping()["ok"]
+
+    def test_token_server_yields_no_job_state_to_fuzz(
+            self, make_harness):
+        harness = make_harness(token="fuzz-proof-token")
+        rng = random.Random(0xA07)
+        templates = [protocol.encode(request)
+                     for request in valid_requests()]
+        for _ in range(self.ROUNDS // 2):
+            payload = mutate(rng, rng.choice(templates))
+            if not payload.endswith(b"\n"):
+                payload += b"\n"
+            with socket.create_connection(
+                    ("127.0.0.1", harness.port), timeout=20) as sock:
+                sock.sendall(payload)
+                # Half-close: the server sees EOF after the payload
+                # and ends the conversation, so the drain below never
+                # waits out a timeout on a kept-open connection.
+                sock.shutdown(socket.SHUT_WR)
+                while True:  # drain whatever the server answers
+                    if not sock.recv(65536):
+                        break
+        # No mutation authenticated, so nothing was ever queued.
+        client = harness.client()
+        assert client.ping()["jobs"] == 0
+        assert client.jobs() == []
+
+    def test_oversized_line_then_recovery(self, harness):
+        """A framing violation drops that connection only; the next
+        one works."""
+        huge = (b'{"op": "ping", "pad": "'
+                + b"x" * protocol.MAX_LINE_BYTES + b'"}\n')
+        ping_line = protocol.encode({"op": "ping"})
+        alive = send_then_ping(harness.port, huge, ping_line)
+        assert not alive  # framing gone: the server dropped the link
+        assert harness.client().ping()["ok"]

@@ -1,0 +1,277 @@
+"""Unit tests for the queue's scheduling policies and admission/GC.
+
+The policies are plain synchronous data structures (the asyncio side
+only supplies the blocking), so they are pinned here directly: exact
+pick order for fifo / sjf / fair, weighted rotation, admission-cap
+rejections carrying ``retry_after``, depth accounting and the
+finished-job GC (TTL + retention bound + "expired" memory).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.queue import (
+    FairScheduler,
+    FifoScheduler,
+    JobQueue,
+    QueueFullError,
+    SmallestJobFirstScheduler,
+    SCHEDULERS,
+)
+
+
+class StubResult:
+    """The slice of :class:`PointResult` the job bookkeeping reads."""
+
+    error = None
+
+
+class StubJob:
+    """The slice of :class:`Job` the schedulers read."""
+
+    def __init__(self, name, points, client="", weight=1):
+        self.id = name
+        self.points = [None] * points
+        self.client = client
+        self.weight = weight
+
+
+def drain(scheduler):
+    """Every remaining pick as ``(job id, index)`` pairs."""
+    picks = []
+    while True:
+        unit = scheduler.pick()
+        if unit is None:
+            return picks
+        job, index = unit
+        picks.append((job.id, index))
+
+
+class TestFifo:
+    def test_submission_order(self):
+        scheduler = FifoScheduler()
+        scheduler.add(StubJob("a", 2))
+        scheduler.add(StubJob("b", 1))
+        assert drain(scheduler) == [("a", 0), ("a", 1), ("b", 0)]
+
+    def test_empty_pick_is_none(self):
+        assert FifoScheduler().pick() is None
+
+
+class TestSmallestJobFirst:
+    def test_small_job_preempts_a_big_backlog(self):
+        scheduler = SmallestJobFirstScheduler()
+        scheduler.add(StubJob("big", 5))
+        scheduler.add(StubJob("tiny", 1))
+        scheduler.add(StubJob("mid", 3))
+        picks = drain(scheduler)
+        assert picks[0] == ("tiny", 0)
+        assert picks[1:4] == [("mid", 0), ("mid", 1), ("mid", 2)]
+        assert picks[4:] == [("big", index) for index in range(5)]
+
+    def test_ties_break_by_submission_order(self):
+        scheduler = SmallestJobFirstScheduler()
+        scheduler.add(StubJob("first", 2))
+        scheduler.add(StubJob("second", 2))
+        assert drain(scheduler) == [("first", 0), ("first", 1),
+                                    ("second", 0), ("second", 1)]
+
+    def test_late_small_job_jumps_a_draining_big_one(self):
+        scheduler = SmallestJobFirstScheduler()
+        scheduler.add(StubJob("big", 4))
+        assert scheduler.pick()[0].id == "big"
+        scheduler.add(StubJob("tiny", 1))
+        assert scheduler.pick()[0].id == "tiny"
+        assert [job for job, _ in drain(scheduler)] == ["big"] * 3
+
+
+class TestFair:
+    def test_round_robin_between_clients(self):
+        scheduler = FairScheduler()
+        scheduler.add(StubJob("a", 3, client="alice"))
+        scheduler.add(StubJob("b", 3, client="bob"))
+        picks = [job for job, _ in drain(scheduler)]
+        assert picks == ["a", "b", "a", "b", "a", "b"]
+
+    def test_weight_gives_a_client_a_larger_share(self):
+        scheduler = FairScheduler()
+        scheduler.add(StubJob("a", 4, client="alice", weight=1))
+        scheduler.add(StubJob("b", 4, client="bob", weight=2))
+        picks = [job for job, _ in drain(scheduler)]
+        assert picks == ["a", "b", "b", "a", "b", "b", "a", "a"]
+
+    def test_jobs_of_one_client_stay_fifo(self):
+        scheduler = FairScheduler()
+        scheduler.add(StubJob("a1", 2, client="alice"))
+        scheduler.add(StubJob("a2", 2, client="alice"))
+        assert [job for job, _ in drain(scheduler)] \
+            == ["a1", "a1", "a2", "a2"]
+
+    def test_one_saturating_client_cannot_starve_another(self):
+        scheduler = FairScheduler()
+        scheduler.add(StubJob("flood", 100, client="bulk"))
+        assert scheduler.pick()[0].id == "flood"
+        scheduler.add(StubJob("probe", 1, client="interactive"))
+        picks = [scheduler.pick()[0].id for _ in range(2)]
+        assert "probe" in picks
+
+    def test_idle_client_reenters_at_the_tail(self):
+        scheduler = FairScheduler()
+        scheduler.add(StubJob("a", 1, client="alice"))
+        scheduler.add(StubJob("b", 2, client="bob"))
+        assert drain(scheduler) == [("a", 0), ("b", 0), ("b", 1)]
+        scheduler.add(StubJob("b2", 1, client="bob"))
+        scheduler.add(StubJob("a2", 1, client="alice"))
+        assert drain(scheduler) == [("b2", 0), ("a2", 0)]
+
+
+class TestJobQueueAdmission:
+    def run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_unknown_scheduler_is_loud(self):
+        with pytest.raises(ReproError, match="unknown scheduler"):
+            JobQueue(scheduler="lifo")
+
+    def test_scheduler_registry_names(self):
+        assert set(SCHEDULERS) == {"fifo", "sjf", "fair"}
+
+    def test_over_cap_submission_is_rejected_with_retry_after(self):
+        async def main():
+            queue = JobQueue(max_pending=3, retry_after=0.5)
+            queue.submit([1, 2])
+            with pytest.raises(QueueFullError) as excinfo:
+                queue.submit([3, 4])
+            assert excinfo.value.retry_after == 0.5
+            assert "cap" in str(excinfo.value)
+            # The rejected batch queued nothing.
+            assert len(queue.jobs) == 1
+            assert queue.depth == 2
+            # An in-cap batch is still welcome.
+            queue.submit([3])
+            assert queue.depth == 3
+
+        self.run(main())
+
+    def test_batch_larger_than_the_cap_is_never_retryable(self):
+        """Regression: a batch that exceeds the cap outright can never
+        be admitted, so it must reject without a retry hint — a
+        QueueFullError would make the client burn its whole backoff
+        budget on guaranteed-futile retries."""
+        async def main():
+            queue = JobQueue(max_pending=2)
+            with pytest.raises(ReproError) as excinfo:
+                queue.submit([1, 2, 3])
+            assert not isinstance(excinfo.value, QueueFullError)
+            assert "never be admitted" in str(excinfo.value)
+            assert len(queue.jobs) == 0
+
+        self.run(main())
+
+    def test_cancel_racing_a_started_point_counts_it_once(self):
+        """Regression: a point that went RUNNING between cancel()'s
+        pending snapshot and the locked mark must stay RUNNING — a
+        double termination would stream the index twice and drive the
+        queue depth negative, silently loosening the admission cap."""
+        async def main():
+            queue = JobQueue(max_pending=10)
+            job = queue.submit(["p", "q"])
+            job.states[0] = "running"  # the scheduler got there first
+            marked = await job.mark_cancelled([0, 1])  # stale snapshot
+            assert marked == 1
+            assert job.states[0] == "running"
+            assert job.order == [1]
+            assert queue.depth == 1
+            await job.record(0, StubResult())
+            assert queue.depth == 0
+            assert job.order == [1, 0]
+            # And a record losing the race is a no-op, not a rewrite.
+            await job.record(1, StubResult())
+            assert job.order == [1, 0]
+            assert queue.depth == 0
+
+        self.run(main())
+
+    def test_depth_drops_as_points_terminate(self):
+        async def main():
+            queue = JobQueue(max_pending=2)
+            job = queue.submit(["p", "q"])
+            assert queue.depth == 2
+            await queue.next_unit()
+            await job.record(0, StubResult())
+            assert queue.depth == 1
+            await queue.cancel(job.id)
+            assert queue.depth == 0
+            assert job.finished_at is not None
+            # Room again: the cap tracks in-flight work, not history.
+            queue.submit(["r", "s"])
+
+        self.run(main())
+
+
+class TestJobGC:
+    def run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    async def finished_job(self, queue, points=1):
+        job = queue.submit([object()] * points)
+        for index in range(points):
+            await queue.next_unit()
+            await job.record(index, StubResult())
+        return job
+
+    def test_ttl_expires_finished_jobs(self):
+        async def main():
+            queue = JobQueue(job_ttl=10.0)
+            job = await self.finished_job(queue)
+            base = job.finished_at
+            assert queue.collect_garbage(now=base + 5.0) == 0
+            assert queue.collect_garbage(now=base + 10.5) == 1
+            assert job.id not in queue.jobs
+            with pytest.raises(ReproError, match="expired"):
+                queue.get(job.id)
+
+        self.run(main())
+
+    def test_running_jobs_are_never_collected(self):
+        async def main():
+            queue = JobQueue(job_ttl=0.0, max_finished=0)
+            job = queue.submit([object(), object()])
+            await queue.next_unit()
+            await job.record(0, object())  # half done: not terminal
+            assert queue.collect_garbage(now=job.finished_at) == 0
+            assert job.id in queue.jobs
+
+        self.run(main())
+
+    def test_retention_bound_evicts_oldest_finished_first(self):
+        async def main():
+            queue = JobQueue(max_finished=2)
+            jobs = [await self.finished_job(queue) for _ in range(4)]
+            # Force distinct finish stamps for a deterministic order.
+            for offset, job in enumerate(jobs):
+                job.finished_at = 100.0 + offset
+            assert queue.collect_garbage(now=200.0) == 2
+            assert set(queue.jobs) == {jobs[2].id, jobs[3].id}
+
+        self.run(main())
+
+    def test_status_reports_time_to_expiry(self):
+        async def main():
+            queue = JobQueue(job_ttl=10.0)
+            job = await self.finished_job(queue)
+            document = queue.status(job, now=job.finished_at + 4.0)
+            assert document["expires_in"] == pytest.approx(6.0)
+            # No TTL configured -> no expiry forecast.
+            untracked = JobQueue()
+            job2 = await self.finished_job(untracked)
+            assert untracked.status(job2)["expires_in"] is None
+
+        self.run(main())
+
+    def test_unknown_job_stays_unknown(self):
+        queue = JobQueue()
+        with pytest.raises(ReproError, match="unknown job"):
+            queue.get("job-404")

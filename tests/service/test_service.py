@@ -9,7 +9,6 @@ clients sharing one store get results bit-identical to a serial
 per-job.
 """
 
-import asyncio
 import json
 import socket
 import threading
@@ -17,9 +16,9 @@ import threading
 import pytest
 
 from repro.engine import DesignPoint, Session
+from repro.io.serialize import design_point_to_dict
 from repro.service import protocol
-from repro.service.client import ServiceClient, ServiceError
-from repro.service.server import ExplorationService
+from repro.service.client import ServiceError
 
 #: Small, fast grids (straight is the cheapest benchmark; quanta kept
 #: low).  GRID_A and GRID_B overlap on two points — the sharing the
@@ -46,63 +45,6 @@ def assert_matches_serial(results, points):
         assert result.datapath_area == expected.datapath_area
         assert result.hw_names == tuple(expected.hw_names)
         assert result.allocation == expected.allocation
-
-
-class ServiceHarness:
-    """One live service on a background thread."""
-
-    def __init__(self, cache_dir, workers=1, flush_interval=0.2):
-        self.session = Session(cache_dir=cache_dir)
-        self.port = None
-        self._ready = threading.Event()
-        self._workers = workers
-        self._flush_interval = flush_interval
-        self._thread = threading.Thread(target=self._run, daemon=True)
-        self._thread.start()
-        assert self._ready.wait(30), "service never came up"
-
-    def _run(self):
-        async def main():
-            service = ExplorationService(
-                self.session, workers=self._workers,
-                flush_interval=self._flush_interval)
-            await service.start(port=0)
-            self.port = service.address[1]
-            self._ready.set()
-            await service.run_until_shutdown()
-
-        asyncio.run(main())
-
-    def client(self, timeout=60.0):
-        return ServiceClient(port=self.port, timeout=timeout)
-
-    def stop(self):
-        if self._thread.is_alive():
-            try:
-                self.client(timeout=5.0).shutdown()
-            except Exception:
-                pass
-            self._thread.join(30)
-
-
-@pytest.fixture
-def make_harness(tmp_path):
-    created = []
-
-    def factory(**kwargs):
-        kwargs.setdefault("cache_dir", str(tmp_path / "store"))
-        harness = ServiceHarness(**kwargs)
-        created.append(harness)
-        return harness
-
-    yield factory
-    for harness in created:
-        harness.stop()
-
-
-@pytest.fixture
-def harness(make_harness):
-    return make_harness()
 
 
 class TestSubmitStreamStatus:
@@ -140,11 +82,12 @@ class TestSubmitStreamStatus:
             harness.client().status("job-999")
 
     def test_warm_restart_from_the_store(self, tmp_path, make_harness):
-        first = make_harness()
+        shared = str(tmp_path / "shared-store")
+        first = make_harness(cache_dir=shared)
         results = first.client().collect(
             first.client().submit(GRID_A))
         first.stop()
-        second = make_harness()  # same cache_dir, fresh process state
+        second = make_harness(cache_dir=shared)  # fresh process state
         client = second.client()
         job = client.submit(GRID_A)
         again = client.collect(job)
@@ -296,3 +239,75 @@ class TestMalformedRequests:
                 reply = json.loads(stream.readline())
                 assert reply["ok"] is False
                 assert stream.readline() == b""  # server closed it
+
+
+class TestAuth:
+    """The shared-token handshake (ISSUE 4)."""
+
+    TOKEN = "correct-horse-battery"
+
+    def test_tokenless_client_is_rejected_before_any_job_state(
+            self, make_harness):
+        harness = make_harness(token=self.TOKEN)
+        intruder = harness.client(token=None)
+        with pytest.raises(ServiceError, match="authentication"):
+            intruder.submit(GRID_A)
+        with pytest.raises(ServiceError, match="authentication"):
+            intruder.ping()
+        # Nothing was queued by the rejected submission.
+        authed = harness.client()
+        assert authed.ping()["jobs"] == 0
+        assert authed.jobs() == []
+
+    def test_wrong_token_is_rejected(self, make_harness):
+        harness = make_harness(token=self.TOKEN)
+        wrong = harness.client(token="open-sesame")
+        with pytest.raises(ServiceError, match="invalid token"):
+            wrong.ping()
+
+    def test_authenticated_client_round_trips(self, make_harness):
+        harness = make_harness(token=self.TOKEN)
+        client = harness.client()
+        results = client.collect(client.submit(GRID_A[:1]))
+        assert_matches_serial(results, GRID_A[:1])
+
+    def test_token_against_open_server_is_harmless(self, harness):
+        client = harness.client(token="anything-goes")
+        assert client.ping()["ok"]
+
+    def test_malformed_auth_keeps_the_connection(self, make_harness):
+        """A structurally bad auth line is a rejection, not a crash;
+        the connection stays open but unauthenticated."""
+        harness = make_harness(token=self.TOKEN)
+        with socket.create_connection(("127.0.0.1", harness.port),
+                                      timeout=30) as sock:
+            with sock.makefile("rwb") as stream:
+                stream.write(b'{"op": "auth", "token": 42}\n')
+                stream.flush()
+                reply = json.loads(stream.readline())
+                assert reply["ok"] is False
+                stream.write(protocol.encode(
+                    {"op": "auth", "token": self.TOKEN}))
+                stream.flush()
+                reply = json.loads(stream.readline())
+                assert reply["ok"] is True
+
+
+class TestTypedConnectionErrors:
+    """Regression (ISSUE 4): a dropped connection surfaces as
+    :class:`ServiceError`, never an opaque ``ConnectionResetError``."""
+
+    def test_oversized_submit_surfaces_service_error(self, harness):
+        point = design_point_to_dict(DesignPoint(app="straight"))
+        point["pad"] = "x" * (2 * protocol.MAX_LINE_BYTES)
+        client = harness.client()
+        with pytest.raises(ServiceError):
+            client.submit([point])
+
+    def test_unauthenticated_drop_carries_the_server_message(
+            self, make_harness):
+        harness = make_harness(token="hunter2")
+        client = harness.client(token=None)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(GRID_A[:1])
+        assert "auth" in str(excinfo.value)

@@ -190,6 +190,48 @@ class TestCacheStoreCommands:
         with pytest.raises(SystemExit):
             main(["cache", "info"])
 
+    def test_cache_compact_shrinks_then_store_still_serves(
+            self, tmp_path, capsys):
+        import os
+        import re
+
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", "--apps", "straight",
+                     "--fractions", "0.2", "0.3", "0.4",
+                     "--cache-dir", store_dir]) == 0
+        capsys.readouterr()
+        before = sum(os.path.getsize(os.path.join(store_dir, name))
+                     for name in os.listdir(store_dir)
+                     if name.endswith(".pkl"))
+        assert main(["cache", "compact", "--cache-dir", store_dir,
+                     "--max-bytes", str(before // 2)]) == 0
+        output = capsys.readouterr().out
+        match = re.search(r"compacted .*: (\d+) kept, (\d+) dropped, "
+                          r"(\d+) -> (\d+) bytes", output)
+        assert match is not None
+        assert int(match.group(2)) > 0            # something evicted
+        assert int(match.group(4)) <= before // 2  # budget honoured
+        # The surviving store still serves (and repopulates).
+        assert main(["sweep", "--apps", "straight",
+                     "--fractions", "0.2", "0.3", "0.4",
+                     "--cache-dir", store_dir]) == 0
+        assert "overall hit rate" in capsys.readouterr().out
+
+    def test_cache_compact_needs_a_budget(self, tmp_path):
+        with pytest.raises(SystemExit, match="max-bytes"):
+            main(["cache", "compact",
+                  "--cache-dir", str(tmp_path / "store")])
+
+    def test_cache_compact_on_missing_store_is_polite(self, tmp_path,
+                                                      capsys):
+        import os
+
+        store_dir = str(tmp_path / "typo-store")
+        assert main(["cache", "compact", "--cache-dir", store_dir,
+                     "--max-bytes", "10"]) == 0
+        assert "no store directory" in capsys.readouterr().out
+        assert not os.path.exists(store_dir)
+
     def test_table1_parser_accepts_workers_and_cache_dir(self):
         args = build_parser().parse_args(
             ["table1", "--apps", "hal", "--workers", "2",
@@ -243,6 +285,65 @@ class TestServiceParser:
 
     def test_status_job_optional(self):
         assert build_parser().parse_args(["status"]).job is None
+
+    def test_serve_hardening_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--scheduler", "fair", "--queue-cap", "64",
+             "--job-ttl", "3600", "--max-jobs", "16",
+             "--token-file", "/run/secret"])
+        assert args.scheduler == "fair"
+        assert args.queue_cap == 64
+        assert args.job_ttl == 3600.0
+        assert args.max_jobs == 16
+        assert args.token_file == "/run/secret"
+
+    def test_serve_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scheduler", "lifo"])
+
+    def test_serve_refuses_nonloopback_without_token(self):
+        with pytest.raises(SystemExit, match="token"):
+            main(["serve", "--host", "0.0.0.0"])
+
+    def test_serve_rejects_bad_bounds(self):
+        for argv in (["serve", "--queue-cap", "0"],
+                     ["serve", "--job-ttl", "-1"],
+                     ["serve", "--max-jobs", "-2"]):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    def test_token_and_token_file_conflict(self):
+        with pytest.raises(SystemExit, match="not both"):
+            main(["serve", "--token", "a", "--token-file", "b"])
+
+    def test_token_file_is_read_and_stripped(self, tmp_path):
+        from repro.cli import _resolve_token
+
+        secret = tmp_path / "secret"
+        secret.write_text("  sesame\n")
+        args = build_parser().parse_args(
+            ["serve", "--token-file", str(secret)])
+        assert _resolve_token(args) == "sesame"
+
+    def test_empty_token_file_is_loud(self, tmp_path):
+        secret = tmp_path / "secret"
+        secret.write_text("\n")
+        with pytest.raises(SystemExit, match="empty"):
+            main(["serve", "--token-file", str(secret)])
+
+    def test_client_commands_accept_tokens(self):
+        for command in (["submit"], ["status"],
+                        ["results", "--job", "j"],
+                        ["cancel", "--job", "j"]):
+            args = build_parser().parse_args(
+                command + ["--token", "sesame"])
+            assert args.token == "sesame"
+
+    def test_submit_weight(self):
+        args = build_parser().parse_args(["submit", "--weight", "3"])
+        assert args.weight == 3
+        with pytest.raises(SystemExit):
+            main(["submit", "--weight", "0"])
 
 
 class TestUniformCacheDir:
