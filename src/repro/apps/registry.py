@@ -69,6 +69,23 @@ def load_application(name):
     return module.load()
 
 
+def application_source(name):
+    """The (source text, profiling inputs) identity of one benchmark.
+
+    This is everything the frontend compile depends on, available
+    *without* compiling — the persistent program store fingerprints it
+    to decide whether a stored compiled program may stand in for a
+    fresh :func:`load_application` call.
+    """
+    try:
+        module = _MODULES[name]
+    except KeyError:
+        raise ReproError(
+            "unknown application %r (expected one of %s)"
+            % (name, ", ".join(application_names()))) from None
+    return module.SOURCE, dict(module.INPUTS)
+
+
 def application_spec(name):
     """Experiment parameters / paper values for the named benchmark."""
     try:

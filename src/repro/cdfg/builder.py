@@ -29,6 +29,18 @@ from repro.errors import SemanticError
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse
 
+#: Process-wide count of frontend compiles (every ``compile_source``
+#: call).  This is the counter the persistent program store is judged
+#: against: a warm session resolving every application through the
+#: store must leave it untouched, and the parity tests/CI assert
+#: exactly that instead of trusting per-session accounting.
+_frontend_compiles = 0
+
+
+def frontend_compile_count():
+    """Number of frontend compiles performed by this process so far."""
+    return _frontend_compiles
+
 
 class _CdfgBuilder:
     """Builds the CDFG, numbering leaves B1, B2, ... in program order."""
@@ -142,11 +154,20 @@ def cdfg_to_bsb(node):
 class Program:
     """A compiled, profiled application ready for allocation.
 
+    A Program is built by :func:`compile_source` (a cold compile) or
+    hydrated from the persistent program store
+    (:func:`repro.io.serialize.program_from_dict`).  Hydrated programs
+    carry ``ast=None`` and ``cdfg=None``: those are frontend artefacts
+    the allocate -> PACE -> evaluate pipeline never reads, and only a
+    cold compile rebuilds them (the ``export`` visualisations load
+    applications directly for this reason).
+
     Attributes:
         name: Application name.
         source: The mini-C source text.
-        ast: The parsed program.
-        cdfg: The CDFG root (a CdfgSeq).
+        ast: The parsed program (``None`` for hydrated programs).
+        cdfg: The CDFG root, a CdfgSeq (``None`` for hydrated
+            programs).
         bsb_root: The BSB hierarchy root.
         bsbs: The flattened leaf-BSB array (empty leaves dropped).
         inputs: The input values used for profiling.
@@ -187,6 +208,8 @@ def compile_source(source, name="app", inputs=None, max_steps=5_000_000):
     """
     from repro.profiling.interpreter import profile_cdfg
 
+    global _frontend_compiles
+    _frontend_compiles += 1
     program_ast = parse(source)
     cdfg = build_cdfg(program_ast, name=name)
     lower_all_leaves(cdfg)

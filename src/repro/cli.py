@@ -31,7 +31,10 @@ Usage (after ``pip install -e .``)::
 or ``python -m repro <command>``.  Every command that runs the engine
 accepts ``--cache-dir`` (table1, fig3, s51, iterate, allocate,
 multiasic, sweep, serve): point them at one directory and they share a
-persistent warm store.
+persistent warm store — compiled programs included, so a second
+process's ``table1``/``sweep`` performs zero frontend compiles
+(``cache info`` lists the ``programs`` shard; the store-backed
+commands print a ``frontend compiles`` line the CI asserts on).
 """
 
 import argparse
@@ -333,12 +336,16 @@ def cmd_table1(args):
         print("%s: best allocation %s" % (row.name, row.best_allocation))
     if session is not None:
         # Store-backed runs report their cache economy (the CI warm
-        # rerun and the compaction check parse this line).
+        # rerun, the program-store check and the compaction check all
+        # parse these lines).
         stats = session.stats
         print()
         print("overall hit rate: %.1f%% (%d hits / %d lookups)"
               % (100.0 * stats.overall_hit_rate(), stats.hit_count(),
                  stats.hit_count() + stats.miss_count()))
+        print("frontend compiles: %d (program store hits: %d)"
+              % (stats.miss_count("compile"),
+                 stats.hit_count("compile")))
 
 
 def cmd_fig3(args):
@@ -495,6 +502,8 @@ def cmd_sweep(args):
     print("overall hit rate: %.1f%% (%d hits / %d lookups)"
           % (100.0 * stats.overall_hit_rate(), stats.hit_count(),
              stats.hit_count() + stats.miss_count()))
+    print("frontend compiles: %d (program store hits: %d)"
+          % (stats.miss_count("compile"), stats.hit_count("compile")))
 
 
 def cmd_cache(args):
@@ -640,6 +649,10 @@ def cmd_status(args):
           % (info["protocol"], info["workers"], info["jobs"],
              info.get("scheduler", "fifo"), info.get("depth", 0),
              "unbounded" if cap is None else cap))
+    if "program_compiles" in info:
+        print("programs: %d frontend compile(s), %d program store "
+              "hit(s)" % (info["program_compiles"],
+                          info.get("program_store_hits", 0)))
     for status in client.jobs():
         _print_job_status(status)
 

@@ -25,6 +25,17 @@ shards hydrate incrementally as applications are loaded.  Unreadable or
 truncated shards — a crashed writer, a corrupted disk — are treated as
 empty and rewritten on the next flush, never raised to the caller.
 
+Beyond the stage memos, the store also persists **compiled programs**
+(the ``programs`` shard): neutral, uid-free documents of a frontend
+compile keyed by :func:`program_fingerprint` (source identity +
+library/technology fingerprints).  A warm session hydrates the program
+itself — uids re-assigned on load, structural signatures preserved —
+so the one stage the cost shards cannot cover, the frontend compile,
+goes warm too.  Fingerprints are *re-verified at flush time*: a
+registered library or BSB mutated after registration raises
+:class:`~repro.errors.StoreIntegrityError` instead of silently
+persisting entries under its stale hash.
+
 **Trust boundary**: shards are Python pickles, and unpickling executes
 code the pickle names.  Only open a ``cache_dir`` you (and everyone
 able to write to it) trust — sharing a store across machines means
@@ -42,6 +53,7 @@ import tempfile
 import time
 
 from repro.engine.cache import EvalCache
+from repro.errors import StoreIntegrityError
 
 #: Bumped whenever fingerprinting or shard layout changes shape; shards
 #: written by other versions are ignored (and replaced on flush).
@@ -75,6 +87,17 @@ STAGE_SCHEMAS = {
 #: the ids of memoised cost objects, so it can only hydrate after
 #: "costs" (which is why "costs" comes first here).
 PERSISTED_STAGES = tuple(STAGE_SCHEMAS) + ("partitions",)
+
+#: The compiled-program shard: fingerprint -> neutral program document
+#: (see :func:`repro.io.serialize.program_to_dict`).  Not an EvalCache
+#: stage — programs hydrate into the Session's program memo, not the
+#: cache — but it shares the shard machinery, versioning, LRU stamps
+#: and corruption story of the stage shards.
+PROGRAMS_STAGE = "programs"
+
+#: Every shard kind this store version owns (inspection/compaction
+#: walk these).
+ALL_SHARD_KINDS = PERSISTED_STAGES + (PROGRAMS_STAGE,)
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +142,20 @@ def bsb_fingerprint(bsb):
                     bsb.dfg.structural_signature()))
 
 
+def program_fingerprint(name, source, inputs, library):
+    """Content hash of a compiled program's identity.
+
+    Covers everything the frontend compile consumes — the application
+    name, the source text and the profiling inputs — plus the
+    library/technology fingerprint of the session that will use the
+    program, so a hydrated program is only ever paired with the stage
+    entries of the library generation it was compiled alongside.
+    """
+    return _digest(("program", name, source,
+                    tuple(sorted((inputs or {}).items())),
+                    library_fingerprint(library)))
+
+
 class CacheStore:
     """A content-addressed on-disk mirror of an :class:`EvalCache`.
 
@@ -142,13 +179,18 @@ class CacheStore:
         # into existence (it would mask the typo for later runs too).
         self.root = os.fspath(root)
         # Volatile -> stable: uid/int-token to fingerprint.  The
-        # strong references in _registered keep every fingerprinted
-        # object alive: a collected library could hand its id() to a
-        # different-content successor, which would then inherit the
-        # stale fingerprint and persist entries under the wrong hash.
+        # strong references in _registered (and _uid_obj, for BSBs)
+        # keep every fingerprinted object alive: a collected library
+        # could hand its id() to a different-content successor, which
+        # would then inherit the stale fingerprint and persist entries
+        # under the wrong hash.  They also let flush() re-verify each
+        # fingerprint — mutation after registration fails loudly
+        # (StoreIntegrityError) instead of persisting stale keys.
         self._uid_fp = {}
+        self._uid_obj = {}
         self._token_fp = {}
         self._registered = {}
+        self._refingerprint = {}
         # Stable -> volatile: fingerprint to uid / live object.
         self._fp_uid = {}
         self._fp_obj = {}
@@ -169,6 +211,15 @@ class CacheStore:
         # Stage -> {stable key: value} absorbed from worker deltas;
         # written out (then dropped) by the next flush.
         self._absorbed = {}
+        # Compiled programs: fingerprint -> neutral document.  New
+        # (this-process) entries accumulate in _programs_new — add-only,
+        # so clean/export counts work the same suffix trick the stage
+        # dicts use; the disk view loads lazily and is dropped whenever
+        # a flush changes it.
+        self._programs_new = {}
+        self._programs_disk = None
+        self._programs_clean_count = 0
+        self._programs_export_count = 0
         # Stage -> stable keys *used* (hydrated into a live cache)
         # since the last stamp write; the LRU side of compaction.  A
         # warm run that computes nothing still refreshes these, so
@@ -186,28 +237,65 @@ class CacheStore:
         changed = False
         if library is not None:
             changed |= self._register_object(library,
-                                             library_fingerprint(library))
+                                             library_fingerprint(library),
+                                             library_fingerprint)
             changed |= self._register_object(
                 library.technology,
-                technology_fingerprint(library.technology))
+                technology_fingerprint(library.technology),
+                technology_fingerprint)
         for bsb in (bsbs if bsbs is not None else ()):
             if bsb.uid not in self._uid_fp:
                 fingerprint = bsb_fingerprint(bsb)
                 self._uid_fp[bsb.uid] = fingerprint
+                self._uid_obj[bsb.uid] = bsb
                 self._fp_uid.setdefault(fingerprint, bsb.uid)
                 changed = True
         return changed
 
-    def _register_object(self, obj, fingerprint):
+    def _register_object(self, obj, fingerprint, refingerprint):
         token = id(obj)
         if token in self._token_fp:
             return False
         self._registered[token] = obj
         self._token_fp[token] = fingerprint
+        self._refingerprint[token] = refingerprint
         # First registered object wins the decode direction; equal-by-
         # content duplicates keep their own encode mapping.
         self._fp_obj.setdefault(fingerprint, obj)
         return True
+
+    def verify_registered(self):
+        """Recompute every registered fingerprint; loud on drift.
+
+        Libraries, technologies and BSBs are immutable-by-contract once
+        registered: the store persists entries under their registration
+        -time hashes, so an object mutated afterwards would ship data
+        keyed by content it no longer has.  Every flush calls this
+        first and raises :class:`StoreIntegrityError` — refusing to
+        write — when any fingerprint no longer matches.
+        """
+        for token, obj in self._registered.items():
+            expected = self._token_fp[token]
+            actual = self._refingerprint[token](obj)
+            if actual != expected:
+                raise StoreIntegrityError(
+                    "%s %r was mutated after being registered with the "
+                    "persistent store (fingerprint %s -> %s); "
+                    "registered objects are immutable-by-contract — "
+                    "open a fresh session over a fresh copy instead of "
+                    "mutating in place"
+                    % (type(obj).__name__,
+                       getattr(obj, "name", obj), expected, actual))
+        for uid, bsb in self._uid_obj.items():
+            expected = self._uid_fp[uid]
+            actual = bsb_fingerprint(bsb)
+            if actual != expected:
+                raise StoreIntegrityError(
+                    "BSB %r (uid %d) was mutated after being registered "
+                    "with the persistent store (fingerprint %s -> %s); "
+                    "registered BSB arrays are immutable-by-contract — "
+                    "rebuild the array instead of mutating it in place"
+                    % (bsb.name, uid, expected, actual))
 
     # ------------------------------------------------------------------
     # Shard I/O
@@ -500,6 +588,35 @@ class CacheStore:
         return ((tuple(ids), comm), available, quanta)
 
     # ------------------------------------------------------------------
+    # Compiled programs: disk <-> session program memo
+    # ------------------------------------------------------------------
+    def _programs_on_disk(self):
+        if self._programs_disk is None:
+            self._programs_disk = self._load_shard(PROGRAMS_STAGE)
+        return self._programs_disk
+
+    def load_program(self, fingerprint):
+        """The stored program document under ``fingerprint``, or None.
+
+        Entries put (or absorbed) this process are preferred over the
+        disk view; a hit refreshes the entry's LRU stamp at the next
+        flush, so warm sessions keep their programs alive through
+        compaction exactly like replayed stage entries.
+        """
+        payload = self._programs_new.get(fingerprint)
+        if payload is None:
+            payload = self._programs_on_disk().get(fingerprint)
+        if payload is not None:
+            self._touched.setdefault(PROGRAMS_STAGE, set()).add(
+                fingerprint)
+        return payload
+
+    def put_program(self, fingerprint, payload):
+        """Queue one compiled-program document for the next flush."""
+        if fingerprint not in self._programs_new:
+            self._programs_new[fingerprint] = payload
+
+    # ------------------------------------------------------------------
     # Worker deltas: live cache -> parent process
     # ------------------------------------------------------------------
     def export_delta(self, cache):
@@ -535,6 +652,16 @@ class CacheStore:
             encoded = self._export_stage("partitions", source, encode)
             if encoded:
                 delta["partitions"] = encoded
+        # Programs a worker compiled travel back too: they are already
+        # stable-keyed (fingerprints), so the suffix pointer is all the
+        # bookkeeping the export needs.
+        if len(self._programs_new) > self._programs_export_count:
+            fresh = dict(itertools.islice(
+                iter(self._programs_new.items()),
+                self._programs_export_count, None))
+            self._programs_export_count = len(self._programs_new)
+            if fresh:
+                delta[PROGRAMS_STAGE] = fresh
         return delta
 
     def _export_stage(self, stage, source, encode):
@@ -560,7 +687,15 @@ class CacheStore:
         """Queue a worker's exported entries for the next flush."""
         absorbed = 0
         for stage, entries in delta.items():
-            if stage not in PERSISTED_STAGES or not entries:
+            if not entries:
+                continue
+            if stage == PROGRAMS_STAGE:
+                for fingerprint, payload in entries.items():
+                    if fingerprint not in self._programs_new:
+                        self._programs_new[fingerprint] = payload
+                        absorbed += 1
+                continue
+            if stage not in PERSISTED_STAGES:
                 continue
             self._absorbed.setdefault(stage, {}).update(entries)
             absorbed += len(entries)
@@ -586,11 +721,21 @@ class CacheStore:
         if not self._needs_flush(cache):
             # Nothing to spill, but a warm run still refreshed entry
             # stamps — persist them or the LRU would see replayed
-            # entries as stale and compact them away.
+            # entries as stale and compact them away.  (No fingerprint
+            # re-verification here: stamps reference keys an earlier,
+            # verified flush already wrote.)
             if self._touched:
                 with self._flush_lock():
                     self._stamp_entries({})
             return 0
+        # The ROADMAP mutation nuance, closed: fingerprints are only
+        # trustworthy if the fingerprinted objects still have their
+        # registration-time content.  Verify before writing entries —
+        # a mutated library/BSB must fail loudly here, not persist
+        # entries under a hash that no longer describes them.  Gated
+        # behind _needs_flush so the service's rate-limited no-op
+        # flushes skip the recomputation.
+        self.verify_registered()
         with self._flush_lock():
             return self._flush_locked(cache)
 
@@ -613,6 +758,8 @@ class CacheStore:
         """True when a stage grew or a worker delta awaits writing."""
         if any(self._absorbed.get(stage)
                for stage in PERSISTED_STAGES):
+            return True
+        if len(self._programs_new) != self._programs_clean_count:
             return True
         return any(
             len(getattr(cache, stage)) != self._clean_counts.get(stage, 0)
@@ -669,6 +816,14 @@ class CacheStore:
                 fresh["partitions"] = live
             self._absorbed.pop("partitions", None)
             self._clean_counts["partitions"] = len(cache.partitions)
+        if len(self._programs_new) != self._programs_clean_count:
+            merged = self._load_shard(PROGRAMS_STAGE)
+            merged.update(self._programs_new)
+            self._write_shard(PROGRAMS_STAGE, merged)
+            written += len(merged)
+            fresh[PROGRAMS_STAGE] = set(self._programs_new)
+            self._programs_clean_count = len(self._programs_new)
+            self._programs_disk = None  # merged view changed on disk
         self._stamp_entries(fresh)
         return written
 
@@ -785,7 +940,7 @@ class CacheStore:
         stamps = self._load_lru()
         shards = {}
         bytes_before = 0
-        for stage in PERSISTED_STAGES:
+        for stage in ALL_SHARD_KINDS:
             try:
                 bytes_before += os.path.getsize(self._shard_path(stage))
             except OSError:
@@ -837,6 +992,8 @@ class CacheStore:
                     pass
             # Pre-compact in-memory copies must not resurrect victims.
             self._stable.pop(stage, None)
+            if stage == PROGRAMS_STAGE:
+                self._programs_disk = None
         pruned = {}
         for stage, data in shards.items():
             bucket = stamps.get(stage, {})
@@ -862,7 +1019,7 @@ class CacheStore:
     def info(self):
         """Per-stage (entries, bytes) of the on-disk store."""
         report = {}
-        for stage in PERSISTED_STAGES:
+        for stage in ALL_SHARD_KINDS:
             path = self._shard_path(stage)
             try:
                 size = os.path.getsize(path)
@@ -874,7 +1031,7 @@ class CacheStore:
     def clear(self):
         """Delete every shard of this store version; returns count."""
         removed = 0
-        for stage in PERSISTED_STAGES:
+        for stage in ALL_SHARD_KINDS:
             try:
                 os.unlink(self._shard_path(stage))
                 removed += 1
@@ -888,6 +1045,8 @@ class CacheStore:
         self._clean_counts.clear()
         self._absorbed.clear()
         self._touched.clear()
+        self._programs_disk = None
+        self._programs_clean_count = 0  # next flush re-persists them
         return removed
 
     def __repr__(self):

@@ -62,5 +62,17 @@ class PartitionError(ReproError):
     """Raised when the PACE partitioner receives invalid inputs."""
 
 
+class StoreIntegrityError(ReproError):
+    """Raised when a persistent-store invariant is violated.
+
+    The flagship case is mutation-after-registration: the engine store
+    fingerprints libraries, technologies and BSBs *once*, when they are
+    registered, and persists cache entries under those hashes.  An
+    object mutated afterwards would silently persist entries keyed by
+    its stale fingerprint — wrong data served to every future session —
+    so the store re-verifies fingerprints at flush time and raises this
+    error instead of writing."""
+
+
 class InterpreterError(ReproError):
     """Raised when profiling execution of an application fails."""

@@ -197,6 +197,168 @@ def point_result_from_dict(data, library=None):
         raise ReproError("malformed point result: %s" % (exc,)) from None
 
 
+# ----------------------------------------------------------------------
+# Compiled programs: the persistent program store's document format
+# ----------------------------------------------------------------------
+def bsb_to_dict(node):
+    """Serialise one BSB hierarchy node (leaves carry DFG payloads)."""
+    from repro.bsb.bsb import (
+        BranchBSB,
+        ControlBSB,
+        LeafBSB,
+        LoopBSB,
+    )
+
+    if isinstance(node, LeafBSB):
+        return {
+            "kind": "leaf",
+            "name": node.name,
+            "profile": node.profile_count,
+            "reads": sorted(node.reads),
+            "writes": sorted(node.writes),
+            "dfg": node.dfg.to_payload(),
+        }
+    if isinstance(node, LoopBSB):
+        return {
+            "kind": "loop",
+            "name": node.name,
+            "test": None if node.test is None else bsb_to_dict(node.test),
+            "body": [bsb_to_dict(child) for child in node.body],
+        }
+    if isinstance(node, BranchBSB):
+        return {
+            "kind": "branch",
+            "name": node.name,
+            "test": None if node.test is None else bsb_to_dict(node.test),
+            "branches": [[bsb_to_dict(child) for child in branch]
+                         for branch in node.branches],
+        }
+    if isinstance(node, ControlBSB):
+        return {
+            "kind": node.kind,
+            "name": node.name,
+            "children": [bsb_to_dict(child) for child in node.children],
+        }
+    raise ReproError("cannot serialise BSB node %r" % (node,))
+
+
+def bsb_from_dict(data):
+    """Rebuild a BSB hierarchy node with **fresh uids**.
+
+    Names, profile counts, reads/writes and DFG structure are restored
+    verbatim (so :func:`repro.engine.store.bsb_fingerprint` of a loaded
+    leaf equals the original's), while every node and operation uid is
+    re-assigned from this process's counters — a hydrated hierarchy
+    slots into the live uid space without colliding with freshly built
+    graphs.  Raises :class:`ReproError` on malformed documents.
+    """
+    from repro.bsb.bsb import (
+        BranchBSB,
+        FunctionBSB,
+        LeafBSB,
+        LoopBSB,
+        SequenceBSB,
+        WaitBSB,
+    )
+    from repro.errors import CdfgError
+    from repro.ir.dfg import DFG
+
+    if not isinstance(data, dict):
+        raise ReproError("BSB document must be a mapping, got %r"
+                         % (data,))
+    kind = data.get("kind")
+    name = str(data.get("name", ""))
+    try:
+        if kind == "leaf":
+            return LeafBSB(DFG.from_payload(data["dfg"]),
+                           profile_count=int(data.get("profile", 1)),
+                           name=name,
+                           reads=[str(each) for each in
+                                  data.get("reads", ())],
+                           writes=[str(each) for each in
+                                   data.get("writes", ())])
+        if kind == "loop":
+            test = data.get("test")
+            return LoopBSB(None if test is None else bsb_from_dict(test),
+                           [bsb_from_dict(child)
+                            for child in data.get("body", ())],
+                           name=name)
+        if kind == "branch":
+            test = data.get("test")
+            return BranchBSB(
+                None if test is None else bsb_from_dict(test),
+                [[bsb_from_dict(child) for child in branch]
+                 for branch in data.get("branches", ())],
+                name=name)
+        node_class = {"seq": SequenceBSB, "func": FunctionBSB,
+                      "wait": WaitBSB}.get(kind)
+        if node_class is not None:
+            return node_class([bsb_from_dict(child)
+                               for child in data.get("children", ())],
+                              name=name)
+    except CdfgError as exc:
+        raise ReproError("malformed BSB document: %s" % (exc,)) from None
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError("malformed BSB document: %s" % (exc,)) from None
+    raise ReproError("unknown BSB document kind %r" % (kind,))
+
+
+def program_to_dict(program):
+    """Serialise a compiled :class:`~repro.cdfg.builder.Program`.
+
+    Everything the allocate -> PACE -> evaluate pipeline reads survives
+    the round trip: the BSB hierarchy with its DFGs and profile counts,
+    the source text (for the Lines column), and the profiled
+    inputs/finals/outputs.  The AST and CDFG — frontend artefacts no
+    downstream stage touches — are deliberately dropped; a hydrated
+    program carries ``None`` for both.
+    """
+    return {
+        "kind": "program",
+        "version": FORMAT_VERSION,
+        "name": program.name,
+        "source": program.source,
+        "inputs": dict(program.inputs),
+        "final_values": dict(program.final_values),
+        "outputs": dict(program.outputs),
+        "root": bsb_to_dict(program.bsb_root),
+    }
+
+
+def program_from_dict(data):
+    """Deserialise a program document; fresh uids throughout.
+
+    The flattened ``bsbs`` array is recomputed from the rebuilt
+    hierarchy with the same empty-leaf filter the cold compile applies,
+    so a hydrated program is positionally identical to its cold twin.
+    Raises :class:`ReproError` on malformed documents (the program
+    store treats that as damage and falls back to a cold compile).
+    """
+    from repro.bsb.hierarchy import leaf_array
+    from repro.cdfg.builder import Program
+
+    if not isinstance(data, dict) or data.get("kind") != "program":
+        raise ReproError("not a program document: %r" % (data,))
+    if data.get("version") != FORMAT_VERSION:
+        raise ReproError("unsupported program format version %r"
+                         % (data.get("version"),))
+    root = bsb_from_dict(data.get("root"))
+    for field in ("inputs", "final_values", "outputs"):
+        if not isinstance(data.get(field, {}), dict):
+            raise ReproError("program %s must be a mapping" % field)
+    return Program(
+        name=str(data.get("name", "")),
+        source=str(data.get("source", "")),
+        ast=None,
+        cdfg=None,
+        bsb_root=root,
+        bsbs=[bsb for bsb in leaf_array(root) if len(bsb.dfg)],
+        inputs=dict(data.get("inputs", {})),
+        final_values=dict(data.get("final_values", {})),
+        outputs=dict(data.get("outputs", {})),
+    )
+
+
 def save_json(document, path):
     """Write a serialised document to ``path`` (pretty-printed)."""
     with open(path, "w") as handle:

@@ -198,6 +198,87 @@ class DFG:
         return self._signature_cache
 
     # ------------------------------------------------------------------
+    # Persistence: neutral payloads with uid re-assignment on load
+    # ------------------------------------------------------------------
+    def to_payload(self):
+        """A uid-free, JSON-compatible description of this graph.
+
+        Operations are listed in creation order (sorted-uid order) and
+        edges refer to those dense indices — the same translation
+        :meth:`structural_signature` performs — so the payload of a
+        graph is identical no matter which process built it.  Load it
+        back with :meth:`from_payload`, which assigns *fresh* uids from
+        the current process's counter.
+        """
+        operations = self.operations()
+        index_of = {op.uid: index for index, op in enumerate(operations)}
+        return {
+            "name": self.name,
+            "ops": [[op.optype.value, op.label, op.value]
+                    for op in operations],
+            "edges": sorted([index_of[producer], index_of[consumer]]
+                            for producer, consumer in self._graph.edges),
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Rebuild a graph from :meth:`to_payload` output.
+
+        Every operation gets a **fresh uid** from this process's
+        monotone counter, so a loaded graph can never collide with
+        graphs already live here — this is the uid re-assignment that
+        lets compiled programs cross the process boundary.  Because
+        creation order is preserved, :meth:`structural_signature` of
+        the clone equals the original's, which is what keeps the
+        content-addressed store keys stable.  Raises
+        :class:`CdfgError` on any malformed payload.
+        """
+        if not isinstance(payload, dict):
+            raise CdfgError("DFG payload must be a mapping, got %r"
+                            % (payload,))
+        try:
+            name = payload["name"]
+            op_rows = payload["ops"]
+            edge_rows = payload["edges"]
+        except (KeyError, TypeError):
+            raise CdfgError("DFG payload missing name/ops/edges") from None
+        if not isinstance(op_rows, (list, tuple)) \
+                or not isinstance(edge_rows, (list, tuple)):
+            raise CdfgError("DFG payload ops/edges must be sequences")
+        dfg = cls(name=str(name))
+        operations = []
+        try:
+            for type_value, label, value in op_rows:
+                operations.append(dfg.new_operation(
+                    OpType(type_value), label=str(label), value=value))
+        except (TypeError, ValueError) as exc:
+            raise CdfgError("bad DFG payload operation: %s"
+                            % (exc,)) from None
+        for row in edge_rows:
+            try:
+                producer_index, consumer_index = row
+            except (TypeError, ValueError):
+                raise CdfgError("bad DFG payload edge %r" % (row,)) \
+                    from None
+            # Explicit bounds (no Python negative indexing): a
+            # corrupted index must fail here — and fall back to a cold
+            # compile — never silently hydrate a different graph.
+            if not all(isinstance(index, int)
+                       and 0 <= index < len(operations)
+                       for index in (producer_index, consumer_index)):
+                raise CdfgError("bad DFG payload edge %r" % (row,))
+            if producer_index == consumer_index:
+                raise CdfgError("self-dependency in DFG payload")
+            dfg._graph.add_edge(operations[producer_index].uid,
+                                operations[consumer_index].uid)
+        # Edges went in unchecked for speed (loading is the warm path);
+        # one acyclicity check at the end keeps the DAG contract.
+        if not nx.is_directed_acyclic_graph(dfg._graph):
+            raise CdfgError("DFG payload %r contains a cycle" % (name,))
+        dfg._invalidate_query_caches()
+        return dfg
+
+    # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
     def copy(self, name=None):

@@ -29,6 +29,14 @@ and forces a full flush whenever a job drains, so a crash loses at
 most ``flush_interval`` seconds of cache growth and a streamed "done"
 implies the job's entries are on disk.
 
+Warm compiles: the engine session resolves applications through the
+persistent program store (``cache_dir``), so a restarted service
+recompiles nothing — hydrated programs are reused across every job the
+session serves, pool workers hydrate theirs from the same store, and a
+program a worker *did* compile travels back in its store delta for the
+engine thread (the single writer) to persist.  ``ping`` reports the
+``program_compiles`` / ``program_store_hits`` counters.
+
 Failure containment: every point is evaluated through
 ``Session.evaluate_point_safe`` — an unknown app or infeasible point
 yields a ``PointResult`` with ``error`` set for *that point only*; the
@@ -336,12 +344,20 @@ class ExplorationService:
         # -polled service trims itself before answering.
         self.queue.collect_garbage()
         if op == "ping":
+            # Program-store economy: compiles the engine (or its pool
+            # workers — their deltas merge into the session stats)
+            # actually paid vs compiles the persistent store absorbed.
+            # A long-lived warm service shows hits climbing while
+            # compiles stay flat across jobs and restarts.
+            stats = self.session.stats
             writer.write(protocol.encode(protocol.ok(
                 protocol=protocol.PROTOCOL_VERSION,
                 workers=self.workers, jobs=len(self.queue.jobs),
                 scheduler=self.queue.scheduler.name,
                 depth=self.queue.depth,
-                queue_cap=self.queue.max_pending)))
+                queue_cap=self.queue.max_pending,
+                program_compiles=stats.miss_count("compile"),
+                program_store_hits=stats.hit_count("compile"))))
         elif op == "submit":
             points = protocol.submission_points(request)
             client, weight = protocol.submission_meta(request)

@@ -19,7 +19,7 @@ import time
 import pytest
 
 from repro.engine import CacheStore, DesignPoint, Session
-from repro.engine.store import PERSISTED_STAGES, STORE_VERSION
+from repro.engine.store import ALL_SHARD_KINDS, STORE_VERSION
 from repro.errors import ReproError
 
 STRAIGHT = DesignPoint(app="straight", area=4000.0, quanta=100)
@@ -36,10 +36,12 @@ def read_stamps(root):
 
 
 def shard_keys(root):
-    """{stage: set of stable keys} of every shard on disk."""
+    """{stage: set of stable keys} of every shard on disk (the
+    compiled-program shard included — its entries are stamped and
+    compacted like any stage entry)."""
     store = CacheStore(root)
     keys = {}
-    for stage in PERSISTED_STAGES:
+    for stage in ALL_SHARD_KINDS:
         data = store._load_shard(stage)
         if data:
             keys[stage] = set(data)
@@ -119,8 +121,9 @@ class TestCompactByAge:
         assert shard_keys(root) == hal_keys
 
         # Survivors are fully warm: the hal rerun replays everything
-        # the store covers (program compile is the one documented
-        # always-cold stage — see the ROADMAP persistence note).
+        # the store covers — since PR 5 that includes the compiled
+        # program, so the only miss left is the in-process program
+        # memo's first lookup (which the program store then serves).
         warm = Session(cache_dir=root)
         warm.evaluate_point(HAL)
         stats = warm.stats
@@ -128,6 +131,8 @@ class TestCompactByAge:
             - stats.miss_count("program")
         assert stats.hit_count() / covered > 0.9
         assert stats.miss_count() == stats.miss_count("program")
+        assert stats.miss_count("compile") == 0, \
+            "compacting kept hal fresh, so its program must survive"
         assert stats.miss_count("alloc") == 0
         assert stats.miss_count("eval") == 0
 
@@ -232,7 +237,7 @@ class TestCompactEdges:
         assert not failures, failures
         # Every shard on disk is a healthy dict...
         checker = CacheStore(root)
-        for stage in PERSISTED_STAGES:
+        for stage in ALL_SHARD_KINDS:
             assert isinstance(checker._load_shard(stage), dict)
         # ...and the store still serves bit-identical results.
         warm = Session(cache_dir=root)
