@@ -1,0 +1,111 @@
+"""Branch-and-bound vs brute exhaustive search: the PR 6 scorecard.
+
+Runs the full hal design space (the only registry application that is
+enumerated rather than sampled at its default budget) through both
+search modes, cold and warm, and emits ``BENCH_bnb.json`` with the
+acceptance numbers: candidate evaluations per mode, wall-clock per
+mode, and the resulting reduction factors.  The two modes must agree
+on the winner bit-for-bit — the report refuses to serialize otherwise.
+
+Usage (writes ``BENCH_bnb.json`` next to the repo's README)::
+
+    PYTHONPATH=src python benchmarks/bench_exhaustive_bnb.py
+
+or as a pytest check along with the other benches::
+
+    python -m pytest benchmarks/bench_exhaustive_bnb.py -q
+"""
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+from repro.apps.registry import application_spec
+from repro.engine.session import Session
+from repro.partition.model import TargetArchitecture
+
+_APP = "hal"
+_AREA_QUANTA = 120
+
+
+def _run(search, cache_dir):
+    """One exhaustive run in a fresh session over ``cache_dir``."""
+    spec = application_spec(_APP)
+    session = Session(cache_dir=cache_dir)
+    program = session.program(_APP)
+    architecture = TargetArchitecture(library=session.library,
+                                      total_area=spec.total_area)
+    start = time.perf_counter()
+    result = session.exhaustive(program.bsbs, architecture,
+                                area_quanta=_AREA_QUANTA, search=search)
+    elapsed = time.perf_counter() - start
+    session.save_store()
+    return result, elapsed
+
+
+def measure(cache_root):
+    """Measure both modes cold and warm; return the report dict."""
+    report = {"app": _APP, "area_quanta": _AREA_QUANTA, "modes": {}}
+    for search in ("brute", "pruned"):
+        cache_dir = os.path.join(cache_root, search)
+        cold, cold_seconds = _run(search, cache_dir)
+        warm, warm_seconds = _run(search, cache_dir)
+        assert warm.best_allocation == cold.best_allocation
+        assert warm.evaluations == cold.evaluations
+        report["modes"][search] = {
+            "evaluations": cold.evaluations,
+            "space": cold.space,
+            "subtrees_pruned": cold.subtrees_pruned,
+            "bound_evaluations": cold.bound_evaluations,
+            "pruned_leaves": cold.pruned_leaves,
+            "best_speedup": cold.best_evaluation.speedup,
+            "best_allocation": str(cold.best_allocation),
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 3),
+        }
+    brute = report["modes"]["brute"]
+    pruned = report["modes"]["pruned"]
+    assert pruned["best_speedup"] == brute["best_speedup"], \
+        "pruned search lost the brute winner — refusing to report"
+    assert pruned["best_allocation"] == brute["best_allocation"]
+    report["evaluation_reduction"] = round(
+        brute["evaluations"] / pruned["evaluations"], 2)
+    report["cold_wallclock_speedup"] = round(
+        brute["cold_seconds"] / pruned["cold_seconds"], 2)
+    report["warm_wallclock_speedup"] = round(
+        brute["warm_seconds"] / pruned["warm_seconds"], 2)
+    return report
+
+
+def test_bnb_report_hits_the_acceptance_bar(tmp_path):
+    """Pytest entry: parity holds and evaluations drop >= 2x on hal."""
+    report = measure(str(tmp_path))
+    brute = report["modes"]["brute"]
+    pruned = report["modes"]["pruned"]
+    assert pruned["evaluations"] * 2 <= brute["evaluations"]
+    assert pruned["evaluations"] + pruned["pruned_leaves"] <= \
+        brute["evaluations"] + pruned["space"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_out = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_bnb.json")
+    parser.add_argument("--out", default=default_out,
+                        help="report path (default: repo-root "
+                             "BENCH_bnb.json)")
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="lycos-bnb-") as cache_root:
+        report = measure(cache_root)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    with open(args.out, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    print("wrote %s" % args.out)
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,7 @@ import sys
 
 from repro.apps.registry import application_names, application_spec
 from repro.core.allocator import allocate
+from repro.core.exhaustive import SEARCH_MODES
 from repro.hwlib.library import default_library
 from repro.report.experiments import (
     design_iteration_report,
@@ -156,6 +157,10 @@ def build_parser():
     table1.add_argument("--cache-dir", default=None,
                         help="persistent engine store directory "
                              "(reruns replay cached stages from disk)")
+    table1.add_argument("--search", choices=SEARCH_MODES, default="brute",
+                        help="exhaustive-search mode: brute enumerates "
+                             "every candidate, pruned walks the same "
+                             "space branch-and-bound (identical winner)")
 
     fig3 = commands.add_parser(
         "fig3", help="regenerate Figure 3's data-path budget sweep")
@@ -328,12 +333,21 @@ def cmd_table1(args):
         raise SystemExit("--workers must be >= 1")
     session = _session(args) if args.cache_dir is not None else None
     rows = table1_rows(names=args.apps, max_evaluations=args.budget,
-                       workers=args.workers, session=session)
+                       workers=args.workers, session=session,
+                       search=args.search)
     print(render_table1(rows))
     for row in rows:
         print()
         print("%s: allocation      %s" % (row.name, row.allocation))
         print("%s: best allocation %s" % (row.name, row.best_allocation))
+    # Grouped after every allocation line so the CI brute-vs-pruned
+    # check can byte-compare everything before the first stats line.
+    print()
+    for row in rows:
+        print("%s: search stats    search=%s evaluations=%d space=%d "
+              "subtrees_pruned=%d bound_evaluations=%d"
+              % (row.name, row.search, row.evaluations, row.space,
+                 row.subtrees_pruned, row.bound_evaluations))
     if session is not None:
         # Store-backed runs report their cache economy (the CI warm
         # rerun, the program-store check and the compaction check all

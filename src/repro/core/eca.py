@@ -16,11 +16,43 @@ import math
 from repro.errors import AllocationError
 from repro.hwlib.technology import DEFAULT_TECHNOLOGY
 from repro.sched.asap import asap_schedule
+from repro.sched.schedule import Schedule
 
 
 def estimated_states(dfg, library=None):
     """Optimistic state count of a BSB: its ASAP schedule length."""
     return max(1, asap_schedule(dfg, library=library).length)
+
+
+def min_latency_states(dfg, library=None):
+    """Admissible floor on the state count under *any* allocation.
+
+    The ASAP schedule with every operation at the minimum latency over
+    all capable units (not just the designated one — module-selection
+    mixes may bind an operation to a faster non-default unit) is a lower
+    bound on every achievable schedule length: no allocation, however
+    generous, finishes sooner than the dependency-only critical path at
+    best-case latencies.  The branch-and-bound search uses this as the
+    per-BSB optimistic hardware time; unlike :func:`estimated_states`
+    it returns 0 for an empty DFG (matching ``hardware_steps``).
+    """
+    latencies = {}
+    for op in dfg.operations():
+        best = None
+        if library is not None:
+            for resource in library.candidates_for(op.optype):
+                if best is None or resource.latency < best:
+                    best = resource.latency
+        latencies[op.uid] = best if best is not None else 1
+    schedule = Schedule(dfg, latencies)
+    for op in dfg.topological_order():
+        earliest = 1
+        for producer in dfg.predecessors(op):
+            finish = schedule.finish(producer)
+            if finish + 1 > earliest:
+                earliest = finish + 1
+        schedule.place(op, earliest)
+    return schedule.length
 
 
 def controller_area_for_states(states, technology=None):

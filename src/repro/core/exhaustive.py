@@ -15,6 +15,18 @@ worker processes in contiguous chunks; each worker scans its chunk
 exactly the way the serial loop would, and the parent reduces the
 chunk winners with the same deterministic :func:`_better` tournament —
 so the parallel result is bit-identical to the serial one.
+
+``search="pruned"`` walks the same space as a mixed-radix prefix tree
+instead of a flat product stream: each partial allocation carries an
+admissible area lower bound and speed-up upper bound (see
+:mod:`repro.core.bounds`), so subtrees provably unable to beat the
+incumbent are skipped wholesale, and the surviving leaves are
+evaluated through the neighbour-aware
+:class:`~repro.partition.evaluate.EvaluationScan` delta path.  The
+winner is bit-identical to the brute scan's — pruning only ever
+discards candidates the `_better` tournament would have discarded —
+while the number of candidate evaluations can drop by orders of
+magnitude on spaces with a dominant incumbent.
 """
 
 import itertools
@@ -23,10 +35,14 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core.allocator import required_resources
+from repro.core.bounds import BoundEngine
 from repro.core.restrictions import asap_restrictions
 from repro.core.rmap import RMap
-from repro.errors import AllocationError
-from repro.partition.evaluate import evaluate_allocation
+from repro.errors import AllocationError, ReproError
+from repro.partition.evaluate import EvaluationScan, evaluate_allocation
+
+#: Valid ``search=`` modes of :func:`exhaustive_best_allocation`.
+SEARCH_MODES = ("brute", "pruned")
 
 
 def allocation_space(bsbs, library, restrictions=None):
@@ -189,7 +205,25 @@ class ExhaustiveResult:
             ASIC area.  On the sampled path these were redrawn, so
             ``evaluations`` still meets the budget whenever enough
             feasible allocations exist.
-        history: Optional list of (allocation, speedup) pairs.
+        history: Optional list of (allocation, speedup) pairs for the
+            candidates actually evaluated, in ``history_order`` order.
+        search: The search that actually ran: ``"brute"``,
+            ``"pruned"``, or ``"sampled"`` when the evaluation budget
+            forced sampling regardless of the requested mode.
+        history_order: ``"scan"`` when the history follows the
+            lexicographic scan order of the enumerated space (brute and
+            pruned searches — a pruned history is the scan-order
+            subsequence that survived the bounds); ``"sampled"`` when
+            it follows the seeded draw order of the sampled search,
+            which is *not* lexicographic.
+        subtrees_pruned: Prefix-tree subtrees the branch-and-bound
+            speed-up bound discarded (0 for other searches).
+        bound_evaluations: Bound computations spent finding them (the
+            warm-start evaluation seeding the prune threshold, when one
+            ran, is accounted here rather than in ``evaluations``).
+        pruned_leaves: Candidate allocations inside those subtrees;
+            ``evaluations + skipped_infeasible + pruned_leaves ==
+            space`` holds for every enumerated search.
     """
 
     best_allocation: RMap
@@ -199,6 +233,11 @@ class ExhaustiveResult:
     sampled: bool
     skipped_infeasible: int = 0
     history: list = field(default_factory=list)
+    search: str = "brute"
+    history_order: str = "scan"
+    subtrees_pruned: int = 0
+    bound_evaluations: int = 0
+    pruned_leaves: int = 0
 
 
 def _scan_candidates(candidates, bsbs, architecture, area_quanta,
@@ -242,10 +281,213 @@ def _scan_candidates(candidates, bsbs, architecture, area_quanta,
             history)
 
 
+def _empty_prune_stats():
+    """Zeroed pruning counters (shape shared by every search mode)."""
+    return {"subtrees_pruned": 0, "bound_evaluations": 0,
+            "pruned_leaves": 0}
+
+
+def _warm_threshold(bsbs, architecture, restrictions, area_quanta,
+                    session, names, ranges, unit_areas, remember):
+    """Speed-up of Algorithm 1's allocation, as a strict prune threshold.
+
+    The greedy allocator lands on (or near) the best allocation long
+    before the lexicographic scan does, so its evaluated speed-up makes
+    a strong bound from the very first node.  Soundness: the threshold
+    only ever prunes subtrees whose bound is *strictly* below it, and
+    it is the speed-up of a member of the search space — so no
+    candidate tying the eventual winner can be discarded and the
+    scan-order tie-breaking (hence the winner) stays bit-identical to
+    the brute scan.  Returns ``None`` when the allocator fails or its
+    allocation falls outside the space (custom restrictions can do
+    that), where that guarantee would not hold.
+    """
+    try:
+        allocation = session.allocate(
+            bsbs, architecture.total_area,
+            restrictions=restrictions).allocation
+    except ReproError:
+        return None
+    caps = {name: len(counts) - 1
+            for name, counts in zip(names, ranges)}
+    for name, count in allocation.items():
+        if count > caps.get(name, 0):
+            return None
+    if allocation.area_from(unit_areas) > architecture.total_area:
+        return None
+    evaluation = evaluate_allocation(bsbs, allocation, architecture,
+                                     area_quanta=area_quanta,
+                                     cache=session.cache,
+                                     remember=remember)
+    return evaluation.speedup
+
+
+def _scan_pruned(bsbs, architecture, restrictions, area_quanta,
+                 keep_history, session, names, ranges, unit_areas,
+                 total, workers):
+    """Drive the branch-and-bound search: prime, then split or recurse.
+
+    Candidate 0 — the empty allocation, always area-feasible — is
+    evaluated up front and seeds every range scan's incumbent, and the
+    greedy allocator's speed-up seeds a strict prune threshold, so even
+    parallel chunks prune against shared bounds from their first node
+    instead of each rediscovering them.  Returns the common scan
+    6-tuple (best allocation, best evaluation, evaluations,
+    skipped_infeasible, history, prune stats).
+    """
+    remember = "partitions" if (session.store is not None) else False
+    alloc0 = RMap()
+    eval0 = evaluate_allocation(bsbs, alloc0, architecture,
+                                area_quanta=area_quanta,
+                                cache=session.cache, remember=remember)
+    warm_su = _warm_threshold(bsbs, architecture, restrictions,
+                              area_quanta, session, names, ranges,
+                              unit_areas, remember)
+    best_allocation, best_eval = alloc0, eval0
+    evaluations = 1
+    skipped_infeasible = 0
+    history = [(alloc0, eval0.speedup)] if keep_history else []
+    prune = _empty_prune_stats()
+    if warm_su is not None:
+        # The warm-start evaluation exists only to seed the threshold:
+        # account it as bound work, not as a scanned candidate.
+        prune["bound_evaluations"] += 1
+    primed = (alloc0, eval0, warm_su)
+    if total > 1:
+        if workers > 1 and total > 2:
+            outcome = _parallel_scan(
+                bsbs, architecture, restrictions, area_quanta,
+                keep_history, session, unit_areas, False, None,
+                total - 1, min(workers, total - 1), search="pruned",
+                primed=primed, offset=1)
+        else:
+            outcome = _scan_pruned_range(
+                bsbs, architecture, area_quanta, keep_history, session,
+                names, ranges, unit_areas, 1, total, primed)
+        (range_allocation, range_eval, range_evaluations, range_skipped,
+         range_history, range_prune) = outcome
+        evaluations += range_evaluations
+        skipped_infeasible += range_skipped
+        history.extend(range_history)
+        for stage, count in range_prune.items():
+            prune[stage] += count
+        if range_eval is not None:
+            best_allocation, best_eval = range_allocation, range_eval
+    return (best_allocation, best_eval, evaluations, skipped_infeasible,
+            history, prune)
+
+
+def _scan_pruned_range(bsbs, architecture, area_quanta, keep_history,
+                       session, names, ranges, unit_areas, start, stop,
+                       incumbent):
+    """Branch-and-bound over lexicographic indices ``[start, stop)``.
+
+    The index range is walked as a mixed-radix prefix tree (first
+    resource outermost, matching ``itertools.product``).  A node whose
+    decided digits already exceed the ASIC area accounts its whole
+    subtree as ``skipped_infeasible`` — and, since a digit only ever
+    adds area, so do all of its later siblings at once.  A feasible
+    node whose optimistic speed-up bound cannot beat the incumbent
+    under the `_better` tournament accounts its subtree as pruned.
+    Surviving leaves are evaluated in scan order through the
+    :class:`EvaluationScan` delta path, so evaluated neighbours reuse
+    each other's unchanged cost groups.
+
+    ``incumbent`` is the primed (allocation, evaluation, warm
+    threshold) triple; the returned winner is ``(None, None, ...)``
+    unless some leaf in the range strictly improved on the primed
+    evaluation, which keeps the parallel reduction identical to the
+    serial tournament.
+    """
+    library = architecture.library
+    remember = "partitions" if (session.store is not None) else False
+    scan = EvaluationScan(bsbs, architecture, area_quanta=area_quanta,
+                          cache=session.cache, remember=remember)
+    caps = [len(counts) - 1 for counts in ranges]
+    engine = BoundEngine(bsbs, architecture, names, caps, session.cache)
+    axes = len(caps)
+    # suffix[depth] = number of leaves below one node at that depth.
+    suffix = [1] * (axes + 1)
+    for axis in range(axes - 1, -1, -1):
+        suffix[axis] = suffix[axis + 1] * (caps[axis] + 1)
+    unit = [unit_areas[name] for name in names]
+    total_area = architecture.total_area
+
+    inc_allocation, inc_eval, warm_su = incumbent
+    inc_su = inc_eval.speedup
+    inc_area = inc_allocation.area(library)
+    state = {"improved": False, "evaluations": 0,
+             "skipped_infeasible": 0, "subtrees_pruned": 0,
+             "bound_evaluations": 0, "pruned_leaves": 0}
+    history = []
+    digits = [0] * axes
+    effective = list(caps)
+
+    def descend(depth, node_lo, prefix_area):
+        nonlocal inc_allocation, inc_eval, inc_su, inc_area
+        if depth == axes:
+            allocation = RMap._unchecked(
+                {name: digit for name, digit in zip(names, digits)
+                 if digit})
+            evaluation = scan.evaluate(allocation)
+            state["evaluations"] += 1
+            if keep_history:
+                history.append((allocation, evaluation.speedup))
+            if _better(evaluation, inc_eval, library):
+                inc_allocation, inc_eval = allocation, evaluation
+                inc_su = evaluation.speedup
+                inc_area = allocation.area(library)
+                state["improved"] = True
+            return
+        span = suffix[depth + 1]
+        for digit in range(caps[depth] + 1):
+            child_lo = node_lo + digit * span
+            if child_lo >= stop:
+                break
+            overlap = min(child_lo + span, stop) - max(child_lo, start)
+            if overlap <= 0:
+                continue
+            area = prefix_area + digit * unit[depth]
+            if area > total_area:
+                # A digit only adds area, so every later sibling's
+                # subtree is infeasible too: account them all and stop.
+                state["skipped_infeasible"] += \
+                    min(node_lo + suffix[depth], stop) \
+                    - max(child_lo, start)
+                break
+            digits[depth] = digit
+            effective[depth] = digit
+            state["bound_evaluations"] += 1
+            bound = engine.speedup_bound(effective, area)
+            if (warm_su is not None and bound < warm_su) \
+                    or bound < inc_su \
+                    or (bound == inc_su and area >= inc_area):
+                # No completion can win the `_better` tournament: the
+                # speed-up bound is admissible, the warm threshold is
+                # achieved inside the space (and only prunes *strictly*
+                # worse subtrees), and on an exact incumbent tie the
+                # area can only grow from the prefix's.
+                state["subtrees_pruned"] += 1
+                state["pruned_leaves"] += overlap
+            else:
+                descend(depth + 1, child_lo, area)
+        digits[depth] = 0
+        effective[depth] = caps[depth]
+
+    descend(0, 0, 0)
+    prune = {"subtrees_pruned": state["subtrees_pruned"],
+             "bound_evaluations": state["bound_evaluations"],
+             "pruned_leaves": state["pruned_leaves"]}
+    if not state["improved"]:
+        inc_allocation, inc_eval = None, None
+    return (inc_allocation, inc_eval, state["evaluations"],
+            state["skipped_infeasible"], history, prune)
+
+
 def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
                                max_evaluations=None, area_quanta=200,
                                keep_history=False, session=None,
-                               workers=1):
+                               workers=1, search="brute"):
     """Search the allocation space for the best-speed-up allocation.
 
     When the space exceeds ``max_evaluations``, distinct feasible
@@ -253,6 +495,15 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
     the budget is met — the result is then marked ``sampled``, matching
     the paper's treatment of eigen, where the "best" allocation came
     from numerous experiments rather than full enumeration.
+
+    ``search`` selects how an *enumerated* space is walked.  ``"brute"``
+    scans every candidate; ``"pruned"`` runs the branch-and-bound walk
+    (admissible bounds over the allocation prefix tree plus delta
+    evaluation of neighbouring survivors) whose winner — speed-up,
+    allocation and tie-breaks included — is bit-identical to the brute
+    scan's, typically after far fewer candidate evaluations.  The mode
+    is ignored when the budget forces sampling; the result's ``search``
+    field records what actually ran.
 
     Every candidate is evaluated through an engine
     :class:`~repro.engine.session.Session` (a private one when none is
@@ -277,6 +528,9 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
         session = Session(library=architecture.library)
     if workers < 1:
         raise AllocationError("workers must be >= 1, got %r" % (workers,))
+    if search not in SEARCH_MODES:
+        raise AllocationError("search must be one of %r, got %r"
+                              % (SEARCH_MODES, search))
     library = architecture.library
     # Register the BSBs with the session's persistent store (and
     # hydrate their entries) no matter how the search was entered —
@@ -299,12 +553,19 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
             names, ranges, max_evaluations, unit_areas,
             architecture.total_area, total)
         workload = len(candidates)
+    elif search == "pruned":
+        candidates = None  # the prefix-tree walk enumerates itself
+        workload = total
     else:
         candidates = enumerate_allocations(bsbs, library,
                                            restrictions=restrictions)
         workload = total
 
-    if workers > 1 and workload > 1:
+    if not sampled and search == "pruned":
+        outcome = _scan_pruned(bsbs, architecture, restrictions,
+                               area_quanta, keep_history, session,
+                               names, ranges, unit_areas, total, workers)
+    elif workers > 1 and workload > 1:
         outcome = _parallel_scan(
             bsbs, architecture, restrictions, area_quanta, keep_history,
             session, unit_areas, sampled, candidates, workload,
@@ -312,9 +573,11 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
     else:
         outcome = _scan_candidates(candidates, bsbs, architecture,
                                    area_quanta, keep_history, session,
-                                   unit_areas, check_area=not sampled)
+                                   unit_areas,
+                                   check_area=not sampled) \
+            + (_empty_prune_stats(),)
     (best_allocation, best_eval, evaluations, skipped_scanning,
-     history) = outcome
+     history, prune) = outcome
     skipped_infeasible += skipped_scanning
     # Persist what this search learned (worker deltas included) right
     # away — searches are long and a crash should not lose them.  For a
@@ -333,6 +596,11 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
         sampled=sampled,
         skipped_infeasible=skipped_infeasible,
         history=history,
+        search="sampled" if sampled else search,
+        history_order="sampled" if sampled else "scan",
+        subtrees_pruned=prune["subtrees_pruned"],
+        bound_evaluations=prune["bound_evaluations"],
+        pruned_leaves=prune["pruned_leaves"],
     )
 
 
@@ -358,23 +626,30 @@ _WORKER_SCAN_CONTEXT = None
 
 def _parallel_scan(bsbs, architecture, restrictions, area_quanta,
                    keep_history, session, unit_areas, sampled,
-                   candidates, workload, workers):
+                   candidates, workload, workers, search="brute",
+                   primed=None, offset=0):
     """Fan the candidate stream out over a pool; reduce chunk winners.
 
     Chunks are contiguous slices of the exact stream the serial loop
     would scan — index ranges re-enumerated inside each worker for the
-    enumerated search (shipping ~10^6 RMaps would swamp the pipes), the
-    pre-drawn candidate slices themselves for the sampled search.
+    enumerated searches (shipping ~10^6 RMaps would swamp the pipes),
+    the pre-drawn candidate slices themselves for the sampled search.
+    A pruned search chunks the index range ``[offset, offset +
+    workload)`` and hands every worker the ``primed`` incumbent, so the
+    chunks prune independently against a common initial bound; each
+    returns a winner only where it *improved* on that incumbent, which
+    keeps the chunk-order reduction identical to the serial tournament.
     """
     chunk_count = min(workload, workers * _CHUNKS_PER_WORKER)
-    bounds = [(index * workload) // chunk_count
+    bounds = [offset + (index * workload) // chunk_count
               for index in range(chunk_count + 1)]
     if sampled:
         specs = [("list", candidates[start:stop])
                  for start, stop in zip(bounds, bounds[1:])
                  if stop > start]
     else:
-        specs = [("range", (start, stop))
+        kind = "prange" if search == "pruned" else "range"
+        specs = [(kind, (start, stop))
                  for start, stop in zip(bounds, bounds[1:])
                  if stop > start]
     cache_dir = None if session.store is None else session.store.root
@@ -386,7 +661,7 @@ def _parallel_scan(bsbs, architecture, restrictions, area_quanta,
             processes=workers,
             initializer=_scan_worker_init,
             initargs=(bsbs, architecture, restrictions, area_quanta,
-                      keep_history, cache_dir)) as pool:
+                      keep_history, cache_dir, primed)) as pool:
         results = pool.map(_scan_worker_chunk, specs, chunksize=1)
 
     best_eval = None
@@ -394,26 +669,30 @@ def _parallel_scan(bsbs, architecture, restrictions, area_quanta,
     evaluations = 0
     skipped_infeasible = 0
     history = []
+    prune = _empty_prune_stats()
     library = architecture.library
     for (chunk_allocation, chunk_eval, chunk_evaluations, chunk_skipped,
-         chunk_history, stats_delta, store_delta) in results:
+         chunk_history, chunk_prune, stats_delta, store_delta) in results:
         session.stats.merge(stats_delta)
         if session.store is not None and store_delta:
             session.store.absorb_delta(store_delta)
         evaluations += chunk_evaluations
         skipped_infeasible += chunk_skipped
         history.extend(chunk_history)
+        if chunk_prune is not None:
+            for stage, count in chunk_prune.items():
+                prune[stage] += count
         if chunk_eval is None:
             continue
         if best_eval is None or _better(chunk_eval, best_eval, library):
             best_eval = chunk_eval
             best_allocation = chunk_allocation
     return (best_allocation, best_eval, evaluations, skipped_infeasible,
-            history)
+            history, prune)
 
 
 def _scan_worker_init(bsbs, architecture, restrictions, area_quanta,
-                      keep_history, cache_dir):
+                      keep_history, cache_dir, primed=None):
     global _WORKER_SCAN_CONTEXT
     from repro.engine.session import Session
 
@@ -425,25 +704,33 @@ def _scan_worker_init(bsbs, architecture, restrictions, area_quanta,
                   for name in names}
     _WORKER_SCAN_CONTEXT = (bsbs, architecture, area_quanta,
                             keep_history, session, unit_areas,
-                            names, ranges)
+                            names, ranges, primed)
 
 
 def _scan_worker_chunk(spec):
     """Scan one contiguous chunk; ship the winner and accounting back."""
     (bsbs, architecture, area_quanta, keep_history, session, unit_areas,
-     names, ranges) = _WORKER_SCAN_CONTEXT
+     names, ranges, primed) = _WORKER_SCAN_CONTEXT
     kind, payload = spec
-    if kind == "range":
-        start, stop = payload
-        candidates = _enumerate_slice(names, ranges, start, stop)
-        check_area = True
-    else:
-        candidates = payload
-        check_area = False
     before = session.stats.snapshot()
-    outcome = _scan_candidates(candidates, bsbs, architecture,
-                               area_quanta, keep_history, session,
-                               unit_areas, check_area=check_area)
+    if kind == "prange":
+        start, stop = payload
+        outcome = _scan_pruned_range(bsbs, architecture, area_quanta,
+                                     keep_history, session, names,
+                                     ranges, unit_areas, start, stop,
+                                     primed)
+    else:
+        if kind == "range":
+            start, stop = payload
+            candidates = _enumerate_slice(names, ranges, start, stop)
+            check_area = True
+        else:
+            candidates = payload
+            check_area = False
+        outcome = _scan_candidates(candidates, bsbs, architecture,
+                                   area_quanta, keep_history, session,
+                                   unit_areas, check_area=check_area) \
+            + (None,)
     # New cache entries ship back stable-encoded; the parent session —
     # the store's one writer — spills them in its final flush.
     store_delta = None if session.store is None \

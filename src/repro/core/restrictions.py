@@ -36,6 +36,31 @@ def asap_restrictions(bsbs, library):
     return restrictions
 
 
+def exclusive_type_load(dfg, library):
+    """Per-resource work that *only* that resource can absorb.
+
+    For every operation type with exactly one capable unit in the
+    library, all of the DFG's operations of that type must run on that
+    unit's instances — whatever the allocation.  Returns ``{resource
+    name: (op count, latency)}``; with ``c`` allocated instances and a
+    non-pipelined pool, those operations alone need at least
+    ``ceil(op_count / c) * latency`` control steps.  The branch-and-
+    bound search combines this load floor with the dependency-only
+    critical path (:func:`~repro.core.eca.min_latency_states`) into an
+    admissible schedule-length bound — unlike a schedule *under* the
+    restriction caps, which list scheduling anomalies make inadmissible.
+    """
+    loads = {}
+    for optype, op_count in dfg.count_by_type().items():
+        candidates = library.candidates_for(optype)
+        if len(candidates) != 1:
+            continue
+        resource = candidates[0]
+        count, latency = loads.get(resource.name, (0, resource.latency))
+        loads[resource.name] = (count + op_count, latency)
+    return loads
+
+
 def relax_restrictions(restrictions, factor):
     """Scale every cap by ``factor`` (ablation helper; ceil, min 1)."""
     relaxed = RMap()

@@ -145,14 +145,19 @@ class EvalCache:
             array by identical cost-signature functions, so one
             evaluation computes each distinct signature once instead of
             once per BSB.
+        bounds: (bsb uid, library id, capped effective counts) ->
+            (schedule-length floor, controller-area floor) used by the
+            branch-and-bound exhaustive search; process-local (never
+            persisted — bounds are cheap to recompute and admissibility
+            is easier to audit without a disk round-trip).
         stats: the :class:`CacheStats` counters.
     """
 
     __slots__ = ("sched", "ops", "capable", "sw_times", "costs",
                  "intervals", "furo", "urgency", "eca", "restrictions",
                  "tables", "partitions", "evals", "allocs", "sched_inputs",
-                 "cost_plans", "stats", "_pins", "_processor_tokens",
-                 "_uid_keys")
+                 "cost_plans", "bounds", "stats", "_pins",
+                 "_processor_tokens", "_uid_keys")
 
     def __init__(self):
         self.sched = {}
@@ -171,6 +176,7 @@ class EvalCache:
         self.allocs = {}
         self.sched_inputs = {}
         self.cost_plans = {}
+        self.bounds = {}
         self.stats = CacheStats()
         self._pins = {}
         self._processor_tokens = {}
@@ -228,7 +234,7 @@ class EvalCache:
         for name in ("sched", "ops", "capable", "sw_times", "costs",
                      "intervals", "furo", "urgency", "eca", "restrictions",
                      "tables", "partitions", "evals", "allocs",
-                     "sched_inputs", "cost_plans", "_pins",
+                     "sched_inputs", "cost_plans", "bounds", "_pins",
                      "_processor_tokens", "_uid_keys"):
             getattr(self, name).clear()
         self.stats = CacheStats()

@@ -245,13 +245,15 @@ class Session:
 
     def exhaustive(self, bsbs, architecture, restrictions=None,
                    max_evaluations=None, area_quanta=200,
-                   keep_history=False, workers=1):
+                   keep_history=False, workers=1, search="brute"):
         """The exhaustive allocation search, on this session's cache.
 
         ``workers`` > 1 fans the candidate stream out over processes
         (see :func:`~repro.core.exhaustive.exhaustive_best_allocation`);
         the result is bit-identical to the serial search and the
         per-worker cache accounting is merged into ``self.stats``.
+        ``search="pruned"`` walks the space branch-and-bound style —
+        same winner, far fewer evaluations on prunable spaces.
         """
         from repro.core.exhaustive import exhaustive_best_allocation
 
@@ -259,7 +261,24 @@ class Session:
         return exhaustive_best_allocation(
             bsbs, architecture, restrictions=restrictions,
             max_evaluations=max_evaluations, area_quanta=area_quanta,
-            keep_history=keep_history, session=self, workers=workers)
+            keep_history=keep_history, session=self, workers=workers,
+            search=search)
+
+    def evaluation_scan(self, bsbs, architecture, area_quanta=400,
+                        remember=False):
+        """A neighbour-aware :class:`EvaluationScan` on this cache.
+
+        The scan's delta path makes sequences of similar allocations
+        (searches, sweeps) cheap: cost groups whose relevant counts did
+        not change between consecutive allocations are carried over
+        without a signature recomputation.
+        """
+        from repro.partition.evaluate import EvaluationScan
+
+        self._adopt(bsbs, library=architecture.library)
+        return EvaluationScan(bsbs, architecture,
+                              area_quanta=area_quanta,
+                              cache=self.cache, remember=remember)
 
     # ------------------------------------------------------------------
     # The batch API

@@ -225,6 +225,14 @@ class CacheStore:
         # warm run that computes nothing still refreshes these, so
         # recently-replayed entries survive a compact.
         self._touched = {}
+        # Stage -> stable keys a compact() evicted while they were
+        # (possibly) still held by a live session cache.  flush()
+        # re-encodes the *whole* cache per dirty stage, so without this
+        # set a non-quiescent session would simply write every victim
+        # straight back.  Evicted keys are skipped at flush-encode time;
+        # a worker delta that recomputes one un-evicts it (that is new
+        # work arriving, not a resurrection).
+        self._evicted = {}
         # Monotonic timestamp of the last flush() attempt, for the
         # rate-limited maybe_flush() the exploration service uses.
         self._last_flush = None
@@ -777,12 +785,15 @@ class CacheStore:
             merged = self._load_shard(stage)
             merged.update(self._stable.get(stage, {}))  # still-pending
             live = set()
+            evicted = self._evicted.get(stage)
             if absorbed:
                 merged.update(absorbed)
                 live.update(absorbed)
+                if evicted:
+                    evicted.difference_update(absorbed)
             for volatile_key, value in source.items():
                 ok, stable_key = self._encode_key(schema, volatile_key)
-                if ok:
+                if ok and not (evicted and stable_key in evicted):
                     merged[stable_key] = value
                     live.add(stable_key)
             if merged:
@@ -800,13 +811,17 @@ class CacheStore:
             merged = self._load_shard("partitions")
             merged.update(self._stable.get("partitions", {}))
             live = set()
+            evicted = self._evicted.get("partitions")
             if absorbed:
                 merged.update(absorbed)
                 live.update(absorbed)
+                if evicted:
+                    evicted.difference_update(absorbed)
             for volatile_key, value in cache.partitions.items():
                 stable_key = self._encode_partition_key(volatile_key,
                                                         cost_ids)
-                if stable_key is not None:
+                if stable_key is not None and \
+                        not (evicted and stable_key in evicted):
                     merged[stable_key] = value
                     live.add(stable_key)
             if merged:
@@ -818,10 +833,19 @@ class CacheStore:
             self._clean_counts["partitions"] = len(cache.partitions)
         if len(self._programs_new) != self._programs_clean_count:
             merged = self._load_shard(PROGRAMS_STAGE)
-            merged.update(self._programs_new)
+            evicted = self._evicted.get(PROGRAMS_STAGE)
+            if evicted:
+                # Filter without mutating _programs_new: its suffix
+                # counters depend on the dict's length and order.
+                alive = {key: value for key, value
+                         in self._programs_new.items()
+                         if key not in evicted}
+            else:
+                alive = self._programs_new
+            merged.update(alive)
             self._write_shard(PROGRAMS_STAGE, merged)
             written += len(merged)
-            fresh[PROGRAMS_STAGE] = set(self._programs_new)
+            fresh[PROGRAMS_STAGE] = set(alive)
             self._programs_clean_count = len(self._programs_new)
             self._programs_disk = None  # merged view changed on disk
         self._stamp_entries(fresh)
@@ -981,6 +1005,10 @@ class CacheStore:
                                     len(doomed))
             if not doomed:
                 continue
+            # Remember the victims: a live session may still hold their
+            # values and would otherwise re-persist them wholesale on
+            # its next flush, silently undoing the compact.
+            self._evicted.setdefault(stage, set()).update(doomed)
             for key in doomed:
                 del data[key]
             if data:
@@ -1045,6 +1073,7 @@ class CacheStore:
         self._clean_counts.clear()
         self._absorbed.clear()
         self._touched.clear()
+        self._evicted.clear()  # a cleared store has nothing to protect
         self._programs_disk = None
         self._programs_clean_count = 0  # next flush re-persists them
         return removed

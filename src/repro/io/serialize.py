@@ -100,6 +100,11 @@ def exhaustive_result_to_dict(result):
         "space": result.space,
         "sampled": result.sampled,
         "skipped_infeasible": result.skipped_infeasible,
+        "search": result.search,
+        "history_order": result.history_order,
+        "subtrees_pruned": result.subtrees_pruned,
+        "bound_evaluations": result.bound_evaluations,
+        "pruned_leaves": result.pruned_leaves,
     }
 
 

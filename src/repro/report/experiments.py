@@ -47,7 +47,9 @@ class Table1Row:
     ``cpu_seconds`` (allocation algorithm runtime).  ``su_iterated`` is
     the speed-up after the reduce-only design iteration (the paper's
     man/eigen fix); ``sampled`` marks a sampled rather than exhaustive
-    best (the paper's eigen footnote).
+    best (the paper's eigen footnote).  ``search`` records the search
+    that actually ran ("brute", "pruned" or "sampled"), and the two
+    pruning counters are non-zero only for branch-and-bound rows.
     """
 
     name: str
@@ -65,11 +67,14 @@ class Table1Row:
     best_allocation: RMap
     paper_su: float = 0.0
     paper_su_best: float = 0.0
+    search: str = "brute"
+    subtrees_pruned: int = 0
+    bound_evaluations: int = 0
 
 
 def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
                max_evaluations=None, program=None, session=None,
-               workers=1):
+               workers=1, search="brute"):
     """Measure one Table 1 row for the named benchmark.
 
     All stages run through one engine
@@ -77,8 +82,10 @@ def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
     passed), so the evaluation, the design iteration and the exhaustive
     search share schedules, cost arrays and PACE sequence tables.
     ``workers`` > 1 fans the exhaustive search out over processes (the
-    row is bit-identical either way); a session opened with a
-    ``cache_dir`` makes the whole row restart-warm.
+    row is bit-identical either way); ``search="pruned"`` runs the
+    branch-and-bound exhaustive search (also bit-identical, usually far
+    fewer evaluations); a session opened with a ``cache_dir`` makes the
+    whole row restart-warm.
     """
     session = _resolve_session(session, library)
     library = session.library
@@ -99,7 +106,7 @@ def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
     best = session.exhaustive(program.bsbs, architecture,
                               max_evaluations=budget,
                               area_quanta=best_area_quanta,
-                              workers=workers)
+                              workers=workers, search=search)
     # The design-iteration endpoint is also a visited allocation; the
     # "best" reported is the better of the two (the paper's eigen best
     # likewise came from designer experiments, not pure enumeration).
@@ -125,25 +132,30 @@ def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
         best_allocation=best_allocation,
         paper_su=spec.paper_su,
         paper_su_best=spec.paper_su_best,
+        search=best.search,
+        subtrees_pruned=best.subtrees_pruned,
+        bound_evaluations=best.bound_evaluations,
     )
 
 
 def table1_rows(library=None, names=None, max_evaluations=None,
-                session=None, workers=1, cache_dir=None):
+                session=None, workers=1, cache_dir=None, search="brute"):
     """Measure all Table 1 rows (expensive: runs the exhaustive search).
 
     One session carries across the rows, so shared machinery (compiled
     programs, restriction analyses) is reused.  ``cache_dir`` (only
     honoured when no session is passed) opens that session over a
     persistent store, so a rerun replays the expensive stages from
-    disk; ``workers`` parallelises each row's exhaustive search.
+    disk; ``workers`` parallelises each row's exhaustive search and
+    ``search`` selects its mode ("brute" or "pruned" — same winner).
     """
     names = list(names or application_names())
     if session is None and cache_dir is not None:
         session = Session(library=library, cache_dir=cache_dir)
     session = _resolve_session(session, library)
     rows = [table1_row(name, session=session, workers=workers,
-                       max_evaluations=max_evaluations) for name in names]
+                       max_evaluations=max_evaluations, search=search)
+            for name in names]
     session.save_store()
     return rows
 

@@ -246,3 +246,69 @@ class TestCompactEdges:
         plain_result = plain.evaluate_point(STRAIGHT)
         assert warm_result.speedup == plain_result.speedup
         assert warm_result.allocation == plain_result.allocation
+
+
+class TestCompactLiveSession:
+    """Compaction of a store some live session still holds entries from.
+
+    flush() re-encodes the *whole* live cache whenever a stage grows,
+    so without the evicted-key bookkeeping a non-quiescent session's
+    next flush would write every victim straight back to disk and the
+    compact would silently not stick.
+    """
+
+    def test_live_session_flush_does_not_resurrect_victims(self,
+                                                           tmp_path):
+        root = str(tmp_path / "store")
+        session = Session(cache_dir=root)
+        session.evaluate_point(STRAIGHT)
+        session.save_store()
+        victims = shard_keys(root)
+        assert victims
+
+        report = session.store.compact(max_age_seconds=0.0)
+        assert report["dropped"] > 0
+        assert not shard_keys(root)
+
+        # New work dirties the stages; the rewrite must skip the
+        # victims even though the session's cache still holds them.
+        session.evaluate_point(HAL)
+        session.save_store()
+        after = shard_keys(root)
+        assert after, "the new work itself must still persist"
+        for stage, keys in victims.items():
+            resurrected = keys & after.get(stage, set())
+            assert not resurrected, \
+                "stage %s resurrected %d evicted entries" \
+                % (stage, len(resurrected))
+
+    def test_cold_recompute_re_persists_evicted_entries(self, tmp_path):
+        # Eviction is per live store object, not a permanent ban: a
+        # fresh process that recomputes the work persists it again.
+        root = str(tmp_path / "store")
+        run_point(root, STRAIGHT)
+        CacheStore(root).compact(max_age_seconds=0.0)
+        assert not shard_keys(root)
+        run_point(root, STRAIGHT)
+        assert shard_keys(root)
+
+    def test_absorbed_worker_delta_unevicts(self, tmp_path):
+        # A worker delta carrying an evicted key is *new computed work*
+        # arriving, not a resurrection — it must persist.
+        root = str(tmp_path / "store")
+        parent = Session(cache_dir=root)
+        parent.evaluate_point(STRAIGHT)
+        parent.save_store()
+        parent.store.compact(max_age_seconds=0.0)
+        assert not shard_keys(root)
+
+        worker = Session(cache_dir=root)  # hydrates nothing: disk empty
+        worker.evaluate_point(STRAIGHT)
+        delta = worker.store.export_delta(worker.cache)
+        assert delta
+
+        parent.store.absorb_delta(delta)
+        parent.save_store()
+        after = shard_keys(root)
+        assert any(after.get(stage) for stage in delta), \
+            "absorbed recomputation must reach the disk again"
