@@ -22,6 +22,9 @@ Usage (after ``pip install -e .``)::
     lycos-repro serve --host 0.0.0.0 --token-file /run/secret --scheduler fair \
                       --queue-cap 8192 --job-ttl 3600 --max-jobs 64
                                     # hardened multi-tenant service
+    lycos-repro serve --join host:7421 --token-file /run/secret --slots 2
+                                    # contribute this machine's CPU as a
+                                    # remote engine of that coordinator
     lycos-repro submit --apps hal --fractions 0.5 1.0 --wait
                                     # queue a grid on the service
     lycos-repro status --job job-1  # poll a submitted job
@@ -277,6 +280,33 @@ def build_parser():
                        help="retain at most this many finished jobs, "
                             "oldest evicted first (default: "
                             "unbounded)")
+    serve.add_argument("--local-engines", type=int, default=1,
+                       help="local engines of the coordinator; 0 makes "
+                            "a pure coordinator that only schedules "
+                            "for joined workers (default: %(default)s)")
+    serve.add_argument("--steal-delay", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="how long a placed point must wait before "
+                            "an idle engine may steal it off its "
+                            "affine engine's lane (default: "
+                            "%(default)s)")
+    serve.add_argument("--engine-timeout", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="seconds of silence before a joined engine "
+                            "is declared dead and its points re-queued "
+                            "(default: %(default)s)")
+    serve.add_argument("--join", default=None, metavar="HOST:PORT",
+                       help="worker mode: instead of serving clients, "
+                            "join the coordinator at this address as a "
+                            "remote engine (lease points, evaluate "
+                            "locally, ship results and store deltas "
+                            "home)")
+    serve.add_argument("--label", default=None,
+                       help="worker mode: suggested engine name (the "
+                            "coordinator uniquifies it)")
+    serve.add_argument("--slots", type=int, default=None,
+                       help="worker mode: points leased at once "
+                            "(default: --workers)")
     _add_token_arguments(serve)
 
     submit = commands.add_parser(
@@ -582,7 +612,17 @@ def cmd_serve(args):
         raise SystemExit("--job-ttl must be >= 0")
     if args.max_jobs is not None and args.max_jobs < 0:
         raise SystemExit("--max-jobs must be >= 0")
+    if args.local_engines < 0:
+        raise SystemExit("--local-engines must be >= 0")
+    if args.steal_delay < 0:
+        raise SystemExit("--steal-delay must be >= 0")
+    if args.engine_timeout <= 0:
+        raise SystemExit("--engine-timeout must be > 0")
+    if args.slots is not None and args.slots < 1:
+        raise SystemExit("--slots must be >= 1")
     token = _resolve_token(args)
+    if args.join is not None:
+        return _cmd_serve_join(args, token)
     if token is None and args.host not in LOOPBACK_HOSTS:
         raise SystemExit("refusing to bind %s without --token/"
                          "--token-file; an open service beyond "
@@ -592,7 +632,29 @@ def cmd_serve(args):
           host=args.host, port=args.port,
           flush_interval=args.flush_interval, token=token,
           scheduler=args.scheduler, queue_cap=args.queue_cap,
-          job_ttl=args.job_ttl, max_jobs=args.max_jobs)
+          job_ttl=args.job_ttl, max_jobs=args.max_jobs,
+          local_engines=args.local_engines,
+          steal_delay=args.steal_delay,
+          engine_timeout=args.engine_timeout)
+
+
+def _cmd_serve_join(args, token):
+    """serve --join: run this process as one remote engine."""
+    from repro.service.worker import join_coordinator
+
+    host, _, port_text = args.join.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not 0 < port < 65536:
+        raise SystemExit("--join expects HOST:PORT, got %r" % args.join)
+    slots = args.slots if args.slots is not None else args.workers
+    evaluated = join_coordinator(host, port, token=token,
+                                 label=args.label or "",
+                                 slots=slots,
+                                 cache_dir=args.cache_dir)
+    print("worker done: %d point(s) evaluated" % evaluated)
 
 
 def _print_point_line(index, result):
@@ -667,6 +729,21 @@ def cmd_status(args):
         print("programs: %d frontend compile(s), %d program store "
               "hit(s)" % (info["program_compiles"],
                           info.get("program_store_hits", 0)))
+    # Roster observability (additive — the lines above are unchanged,
+    # so a single-engine service still prints exactly what it used to
+    # plus its one roster line).
+    for engine in info.get("engines", []):
+        print("engine %-12s %s%-6s %d slot(s), %d queued, %d in "
+              "flight, %d done (%d stolen), hit rate %.1f%%, "
+              "%d delta(s)/%d entr(ies) absorbed"
+              % (engine["engine"], engine["kind"],
+                 "" if engine.get("alive", True) else " DEAD",
+                 engine["slots"], engine["queued"],
+                 engine["in_flight"], engine["done"],
+                 engine.get("stolen", 0),
+                 100.0 * engine.get("hit_rate", 0.0),
+                 engine.get("deltas_absorbed", 0),
+                 engine.get("delta_entries", 0)))
     for status in client.jobs():
         _print_job_status(status)
 

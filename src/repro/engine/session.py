@@ -142,6 +142,19 @@ class Session:
 
     def _program_fingerprint(self, app):
         """The store key of one application under this library."""
+        return self.program_affinity_key(app)
+
+    def program_affinity_key(self, app):
+        """A stable identity for one app's compiled program.
+
+        This is the persistent-store program fingerprint (source +
+        profiling inputs + library), computed without touching any
+        store — so it works for store-less sessions and is identical
+        across processes and restarts.  The distributed fabric routes
+        design points by this key, so equal programs land on the
+        engine that has already compiled and cached them.  Raises for
+        unknown apps (the service falls back to the bare app name).
+        """
         from repro.apps.registry import application_source
         from repro.engine.store import program_fingerprint
 

@@ -24,6 +24,7 @@ message instead of an opaque ``ConnectionResetError``.
 import itertools
 import json
 import os
+import random
 import socket
 import time
 
@@ -79,11 +80,23 @@ class ServiceClient:
         retry_budget: Total seconds :meth:`submit` may spend retrying
             queue-full rejections before giving up (0 disables).
         retry_cap: Upper bound on one backoff sleep.
+        retry_jitter: Fraction of each backoff sleep randomised away,
+            in [0, 1].  Clients rejected by the same queue-full event
+            share the same hint and the same attempt count — without
+            jitter they all sleep the *same* capped-exponential wait
+            and stampede the server in lockstep, forever.  Each sleep
+            is drawn uniformly from ``((1 - jitter) * wait, wait]``, so
+            the cap still bounds it and jitter 0 restores the exact
+            old schedule.
+        retry_seed: Seed of the jitter's private ``random.Random`` —
+            deterministic backoff schedules for tests; ``None`` (the
+            default) seeds from the OS like any other Random.
     """
 
     def __init__(self, host=DEFAULT_HOST, port=DEFAULT_PORT,
                  timeout=120.0, token=None, client_id=None,
-                 retry_budget=60.0, retry_cap=2.0):
+                 retry_budget=60.0, retry_cap=2.0, retry_jitter=0.5,
+                 retry_seed=None):
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -92,6 +105,11 @@ class ServiceClient:
             "client-%d-%d" % (os.getpid(), next(_CLIENT_IDS))
         self.retry_budget = float(retry_budget)
         self.retry_cap = float(retry_cap)
+        if not 0.0 <= float(retry_jitter) <= 1.0:
+            raise ReproError("retry_jitter must be in [0, 1], got %r"
+                             % (retry_jitter,))
+        self.retry_jitter = float(retry_jitter)
+        self._retry_rng = random.Random(retry_seed)
         self.last_submit_rejections = 0
 
     # ------------------------------------------------------------------
@@ -201,13 +219,25 @@ class ServiceClient:
                 hint = exc.retry_after
                 if hint is None:
                     raise  # not a backpressure rejection
-                wait = min(self.retry_cap,
-                           max(0.01, hint) * (2 ** attempt))
+                wait = self._backoff_wait(hint, attempt)
                 if time.monotonic() + wait > deadline:
                     raise
                 self.last_submit_rejections += 1
                 attempt += 1
                 time.sleep(wait)
+
+    def _backoff_wait(self, hint, attempt):
+        """One backoff sleep: capped exponential, then jittered.
+
+        The jitter only ever *shortens* the sleep (uniform in
+        ``((1 - jitter) * wait, wait]``), so ``retry_cap`` and the
+        ``retry_budget`` deadline math both keep their meaning.
+        """
+        wait = min(self.retry_cap, max(0.01, hint) * (2 ** attempt))
+        if self.retry_jitter <= 0.0:
+            return wait
+        return wait * (1.0 - self.retry_jitter
+                       * self._retry_rng.random())
 
     def status(self, job_id):
         """The job's status document."""

@@ -35,9 +35,32 @@ is rejected with ``retry_after`` (seconds) in the error document; the
 with capped exponential backoff.  Submissions may carry an optional
 ``client`` label and ``weight`` (see :func:`submission_meta`) that the
 ``fair`` scheduler uses for per-client weighted round-robin.
+
+The fabric ops (ISSUE 7) ride the same line-JSON conversation, on the
+worker's one persistent connection:
+
+    {"op": "join", "engine": "builder-7", "slots": 2}
+    {"op": "lease", "engine": "remote-1", "max": 2, "wait": 2.0}
+    {"op": "delta", "engine": "remote-1", "results": [...], "store": "..."}
+    {"op": "engine-heartbeat", "engine": "remote-1"}
+
+``join`` registers a remote engine (auth first, like every op);
+``lease`` long-polls for placed units; ``delta`` delivers evaluated
+results plus an optional cache-store delta.  Store deltas are the
+stable-encoded entry mappings of
+:meth:`~repro.engine.store.CacheStore.export_delta` — the exact
+structures the store pickles to its shards — so the wire form is a
+zlib-compressed pickle in base64 (:func:`encode_store_delta`), split
+into line-budget frames by :func:`store_delta_frames`.  The same
+trust boundary as the shards applies: deltas are only ever decoded
+from *joined* (hence authenticated) engines, and a malformed blob is
+rejected as a whole frame before any of it touches coordinator state.
 """
 
+import base64
 import json
+import pickle
+import zlib
 
 from repro.errors import ReproError
 from repro.io.serialize import design_point_from_dict
@@ -54,13 +77,29 @@ MAX_BATCH_POINTS = 4096
 
 #: Every operation the server understands.
 OPS = ("auth", "ping", "submit", "status", "results", "cancel", "jobs",
-       "shutdown")
+       "shutdown", "join", "lease", "delta", "engine-heartbeat")
 
 #: Cap on the optional per-submission client label.
 MAX_CLIENT_CHARS = 200
 
 #: Cap on the optional per-submission fair-scheduler weight.
 MAX_WEIGHT = 100
+
+#: Cap on a joining engine's label.
+MAX_ENGINE_CHARS = 100
+
+#: Cap on a remote engine's advertised evaluation slots (also the cap
+#: on one lease's ``max``): a worker process is one machine, not a
+#: cluster, and a huge lease would defeat re-balancing.
+MAX_ENGINE_SLOTS = 64
+
+#: Cap on one lease's long-poll budget in seconds; the worker re-leases
+#: in a loop, so a longer wait buys nothing but teardown latency.
+MAX_LEASE_WAIT = 30.0
+
+#: Budget for one encoded store-delta frame, comfortably under the
+#: line cap once the JSON envelope is added.
+DELTA_FRAME_BYTES = MAX_LINE_BYTES - (64 << 10)
 
 
 class ProtocolError(ReproError):
@@ -152,6 +191,193 @@ def job_name(request):
     if not isinstance(job, str) or not job:
         raise ProtocolError("request needs a 'job' id string")
     return job
+
+
+# ----------------------------------------------------------------------
+# Fabric ops: join / lease / delta / engine-heartbeat
+# ----------------------------------------------------------------------
+def engine_name(request):
+    """The engine id a lease/delta/heartbeat request names."""
+    engine = request.get("engine")
+    if not isinstance(engine, str) or not engine \
+            or len(engine) > MAX_ENGINE_CHARS:
+        raise ProtocolError("request needs an 'engine' id string of at "
+                            "most %d characters" % MAX_ENGINE_CHARS)
+    return engine
+
+
+def join_fields(request):
+    """The validated ``(label, slots)`` of a join request.
+
+    ``engine`` is the worker's *suggested* label (the coordinator
+    uniquifies it); ``slots`` is how many units the worker wants
+    leased to it at once.
+    """
+    label = request.get("engine", "")
+    if label is None:
+        label = ""
+    if not isinstance(label, str) or len(label) > MAX_ENGINE_CHARS:
+        raise ProtocolError("'engine' must be a string of at most %d "
+                            "characters" % MAX_ENGINE_CHARS)
+    slots = request.get("slots", 1)
+    if isinstance(slots, bool) or not isinstance(slots, int) \
+            or not 1 <= slots <= MAX_ENGINE_SLOTS:
+        raise ProtocolError("'slots' must be an integer in [1, %d]"
+                            % MAX_ENGINE_SLOTS)
+    return label, slots
+
+
+def lease_fields(request):
+    """The validated ``(max_units, wait)`` of a lease request."""
+    max_units = request.get("max", 1)
+    if isinstance(max_units, bool) or not isinstance(max_units, int) \
+            or not 1 <= max_units <= MAX_ENGINE_SLOTS:
+        raise ProtocolError("'max' must be an integer in [1, %d]"
+                            % MAX_ENGINE_SLOTS)
+    wait = request.get("wait", 0.0)
+    if isinstance(wait, bool) or not isinstance(wait, (int, float)) \
+            or not 0 <= wait <= MAX_LEASE_WAIT:
+        raise ProtocolError("'wait' must be a number of seconds in "
+                            "[0, %s]" % MAX_LEASE_WAIT)
+    return max_units, float(wait)
+
+
+def _stats_delta(data):
+    """Validate one wire stats delta: stage -> [hits, misses]."""
+    if data is None:
+        return {}
+    if not isinstance(data, dict):
+        raise ProtocolError("'stats' must be a mapping")
+    delta = {}
+    for stage, pair in data.items():
+        if not isinstance(stage, str) \
+                or not isinstance(pair, (list, tuple)) \
+                or len(pair) != 2 \
+                or not all(isinstance(count, int)
+                           and not isinstance(count, bool)
+                           and count >= 0 for count in pair):
+            raise ProtocolError("'stats' entries must map a stage name "
+                                "to [hits, misses]")
+        delta[stage] = (pair[0], pair[1])
+    return delta
+
+
+def delta_fields(request):
+    """The validated ``(results, store_blob)`` of a delta request.
+
+    ``results`` is a list of ``(job id, index, result document, stats
+    delta)`` tuples — structurally validated here, while the result
+    documents themselves are decoded by the server against its library
+    (so the whole frame is rejected before any of it is applied).
+    ``store_blob`` is the still-encoded store delta (or ``None``); the
+    caller decodes it with :func:`decode_store_delta` only after the
+    engine's identity checks pass.
+    """
+    entries = request.get("results", [])
+    if not isinstance(entries, list):
+        raise ProtocolError("'results' must be a list")
+    if len(entries) > MAX_BATCH_POINTS:
+        raise ProtocolError("delta of %d results exceeds the %d cap"
+                            % (len(entries), MAX_BATCH_POINTS))
+    results = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ProtocolError("results[%d] must be an object"
+                                % position)
+        job = entry.get("job")
+        if not isinstance(job, str) or not job:
+            raise ProtocolError("results[%d] needs a 'job' id string"
+                                % position)
+        index = entry.get("index")
+        if isinstance(index, bool) or not isinstance(index, int) \
+                or index < 0:
+            raise ProtocolError("results[%d] needs a non-negative "
+                                "integer 'index'" % position)
+        document = entry.get("result")
+        if not isinstance(document, dict):
+            raise ProtocolError("results[%d] needs a 'result' document"
+                                % position)
+        results.append((job, index, document,
+                        _stats_delta(entry.get("stats"))))
+    blob = request.get("store")
+    if blob is not None and not isinstance(blob, str):
+        raise ProtocolError("'store' must be an encoded delta string "
+                            "or null")
+    return results, blob
+
+
+def encode_store_delta(delta):
+    """One store delta as a line-safe string (pickle -> zlib -> b64)."""
+    packed = pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(zlib.compress(packed)).decode("ascii")
+
+
+def decode_store_delta(blob):
+    """Decode one wire store delta; :class:`ProtocolError` when bad.
+
+    Anything short of a well-shaped ``{stage: {stable key: value}}``
+    mapping — bad base64, bad zlib, a truncated pickle, the wrong
+    structure — rejects the frame.  Only call this for blobs received
+    from a *joined* engine: decoding is unpickling, and the join
+    handshake (behind auth) is the trust boundary, exactly as it is
+    for the store's own shard files.
+    """
+    try:
+        packed = zlib.decompress(base64.b64decode(
+            blob.encode("ascii"), validate=True))
+        delta = pickle.loads(packed)
+    except Exception:
+        raise ProtocolError("undecodable store delta") from None
+    if not isinstance(delta, dict) or not all(
+            isinstance(stage, str) and isinstance(entries, dict)
+            for stage, entries in delta.items()):
+        raise ProtocolError("store delta must map stage names to "
+                            "entry mappings")
+    return delta
+
+
+def store_delta_frames(delta, budget=DELTA_FRAME_BYTES):
+    """Split a store delta into encoded blobs within the line budget.
+
+    Entries are greedily packed per frame; a single entry whose lone
+    encoding still exceeds the budget is *dropped* — losing a cache
+    delta only costs warmth (the entry is recomputed cold elsewhere),
+    never correctness, and an oversized frame would cost the whole
+    connection.  Returns a list of encoded blobs (empty for an empty
+    delta); the dropped-entry count is available as the second element
+    of the returned tuple.
+    """
+    flat = [(stage, key, value)
+            for stage, entries in (delta or {}).items()
+            for key, value in entries.items()]
+    if not flat:
+        return [], 0
+    whole = encode_store_delta(delta)
+    if len(whole) <= budget:
+        return [whole], 0
+    frames = []
+    dropped = 0
+    pending = {}
+    pending_cost = 0
+
+    def close_frame():
+        nonlocal pending, pending_cost
+        if pending:
+            frames.append(encode_store_delta(pending))
+            pending = {}
+            pending_cost = 0
+
+    for stage, key, value in flat:
+        alone = encode_store_delta({stage: {key: value}})
+        if len(alone) > budget:
+            dropped += 1
+            continue
+        if pending_cost + len(alone) > budget:
+            close_frame()
+        pending.setdefault(stage, {})[key] = value
+        pending_cost += len(alone)
+    close_frame()
+    return frames, dropped
 
 
 def ok(**fields):

@@ -161,6 +161,22 @@ class Job:
             self._note_terminal(1)
             self.condition.notify_all()
 
+    async def reset_to_pending(self, index):
+        """Return one RUNNING point to PENDING; True when it moved.
+
+        The engine-death path of the distributed fabric: a point leased
+        to an engine that died will never complete there, so it goes
+        back to PENDING for the roster to re-place — no terminal edge
+        is crossed, so the queue's depth accounting is untouched.  A
+        point that is not RUNNING (its result arrived in the race, or a
+        cancel already terminated it) is left alone.
+        """
+        async with self.condition:
+            if self.states[index] != RUNNING:
+                return False
+            self.states[index] = PENDING
+            return True
+
     async def mark_cancelled(self, indices):
         """Mark still-pending points CANCELLED; wake the readers.
 

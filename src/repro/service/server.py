@@ -1,61 +1,63 @@
-"""The asyncio exploration service: one warm store, many clients.
+"""The asyncio exploration service: one warm store, many engines.
 
 The server wraps a single long-lived
 :class:`~repro.engine.session.Session` (usually opened with a
 ``cache_dir``) behind the line-JSON protocol of
 :mod:`~repro.service.protocol`: clients submit batches of design
-points, a fixed set of scheduler workers drains the shared
-:class:`~repro.service.queue.JobQueue`, and every client streams its
-job's results as they complete — so concurrent clients share one warm
-cache instead of each paying a cold sweep.
+points, the scheduler policy orders them, and the
+:class:`~repro.service.engine.EngineRoster` places each unit on one of
+the service's engines — so every client shares one warm cache instead
+of each paying a cold sweep.
 
-Concurrency model (the single-writer rule):
+Engine-count agnosticism (the ISSUE 7 refactor): evaluation happens
+behind the :class:`~repro.service.engine.Engine` interface.  A default
+service is one :class:`~repro.service.engine.LocalEngine`; passing
+``local_engines=0`` makes a pure coordinator that only schedules and
+absorbs (remote engines must join for work to progress), and any
+worker process can add a :class:`~repro.service.engine.RemoteEngine`
+at runtime with ``serve --join`` (the ``join``/``lease``/``delta``/
+``engine-heartbeat`` ops).  Placement is ``program_fingerprint``
+affinity — equal programs route to the engine that already compiled
+and cached them — with aged-work stealing when an engine idles.
 
-* ``workers == 1`` (the default) evaluates points *in process* on one
-  dedicated engine thread.  The parent session, its cache and its
-  store are only ever touched from that thread, so the plain-dict
-  engine needs no locks.
+Concurrency model (the single-writer rule, unchanged in spirit):
+
+* The parent session, its cache and its store are only ever touched
+  from one dedicated engine thread, so the plain-dict engine needs no
+  locks.  Local in-process evaluation, pool-delta absorption *and*
+  remote-delta absorption all funnel through it.
 * ``workers > 1`` keeps a persistent ``multiprocessing`` pool whose
-  processes each hold a session hydrated from the same ``cache_dir``
-  (the plumbing ``Session.explore`` uses); dispatch threads block on
-  the pool while the event loop stays responsive.  Workers never write
-  shards — their stable-encoded store deltas travel back and are
-  absorbed on the engine thread, which remains the store's only
-  writer.
+  processes each hold a session hydrated from the same ``cache_dir``;
+  dispatch threads block on the pool while the event loop stays
+  responsive.  Workers (pool *and* remote) never write shards — their
+  stable-encoded store deltas travel back and are absorbed on the
+  engine thread, which remains the store's only writer.
 
 Durability: the engine thread rate-limits flushes through
 :meth:`~repro.engine.store.CacheStore.maybe_flush` after every point
 and forces a full flush whenever a job drains, so a crash loses at
 most ``flush_interval`` seconds of cache growth and a streamed "done"
-implies the job's entries are on disk.
-
-Warm compiles: the engine session resolves applications through the
-persistent program store (``cache_dir``), so a restarted service
-recompiles nothing — hydrated programs are reused across every job the
-session serves, pool workers hydrate theirs from the same store, and a
-program a worker *did* compile travels back in its store delta for the
-engine thread (the single writer) to persist.  ``ping`` reports the
-``program_compiles`` / ``program_store_hits`` counters.
+implies the job's entries — including every absorbed remote delta —
+are on disk.  That ordering (absorb before record, flush before
+"done") is the per-job durability barrier of the fabric.
 
 Failure containment: every point is evaluated through
 ``Session.evaluate_point_safe`` — an unknown app or infeasible point
-yields a ``PointResult`` with ``error`` set for *that point only*; the
-job, its siblings and the service keep going.
+yields a ``PointResult`` with ``error`` set for *that point only*.  A
+remote engine that dies mid-lease (connection drop or heartbeat
+timeout) has its in-flight and laned units re-queued onto the
+surviving engines, so job results stay bit-identical to a serial run;
+a malformed ``delta`` frame is rejected whole before any of it touches
+job state.
 
-Operability (the ISSUE 4 hardening):
+Operability (the ISSUE 4 hardening, unchanged):
 
-* ``token`` arms the shared-token handshake — unauthenticated
-  connections are rejected (and dropped) before any job state exists,
-  and :func:`serve` refuses to bind a non-loopback address without
-  one.  The compare is constant-time (:func:`hmac.compare_digest`).
-* ``queue_cap`` bounds the admitted-but-unfinished point count; an
-  over-cap submit is rejected with a structured ``retry_after`` the
-  client backs off on.
-* ``scheduler`` picks the queue policy (``fifo``/``sjf``/``fair``,
-  see :mod:`repro.service.queue`).
-* ``job_ttl``/``max_jobs`` garbage-collect finished jobs, bounding a
-  long-lived service's result-retention memory; GC runs on every
-  request dispatch and job completion.
+* ``token`` arms the shared-token handshake — required before ``join``
+  like before any other op, so only authenticated workers can attach
+  engines or deliver deltas.
+* ``queue_cap`` bounds the admitted-but-unfinished point count.
+* ``scheduler`` picks the queue policy (``fifo``/``sjf``/``fair``).
+* ``job_ttl``/``max_jobs`` garbage-collect finished jobs.
 """
 
 import asyncio
@@ -67,6 +69,11 @@ from repro.engine.cache import CacheStats
 from repro.engine.session import Session
 from repro.io.serialize import point_result_to_dict
 from repro.service import protocol
+from repro.service.engine import (
+    EngineRoster,
+    LocalEngine,
+    RemoteEngine,
+)
 from repro.service.queue import (
     PENDING,
     RUNNING,
@@ -82,6 +89,12 @@ DEFAULT_PORT = 7421
 #: Hosts a token-less server may bind (the mutually-trusting-local
 #: contract); anything else requires ``token``.
 LOOPBACK_HOSTS = ("127.0.0.1", "::1", "localhost")
+
+#: Seconds of engine silence before the reaper declares it dead.
+DEFAULT_ENGINE_TIMEOUT = 60.0
+
+#: Seconds a placed unit must wait before an idle engine may steal it.
+DEFAULT_STEAL_DELAY = 0.25
 
 
 def _pooled_point(point):
@@ -100,13 +113,28 @@ def _pooled_point(point):
     return results[0], stats_delta, store_delta
 
 
+class _Connection:
+    """Per-connection protocol state: auth plus the joined engine."""
+
+    __slots__ = ("authenticated", "engine")
+
+    def __init__(self, authenticated):
+        self.authenticated = authenticated
+        self.engine = None
+
+
 class ExplorationService:
-    """One service instance: session + queue + scheduler + protocol."""
+    """One service instance: session + queue + engine roster + protocol."""
 
     def __init__(self, session, workers=1, flush_interval=2.0,
                  token=None, scheduler="fifo", queue_cap=None,
-                 retry_after=0.25, job_ttl=None, max_jobs=None):
+                 retry_after=0.25, job_ttl=None, max_jobs=None,
+                 local_engines=1, steal_delay=DEFAULT_STEAL_DELAY,
+                 engine_timeout=DEFAULT_ENGINE_TIMEOUT):
         scheduler_class(scheduler)  # fail at construction, not start()
+        if local_engines < 0:
+            raise ReproError("local_engines must be >= 0, got %r"
+                             % (local_engines,))
         self.session = session
         self.workers = max(1, int(workers))
         self.flush_interval = float(flush_interval)
@@ -116,7 +144,11 @@ class ExplorationService:
         self.retry_after = float(retry_after)
         self.job_ttl = job_ttl
         self.max_jobs = max_jobs
+        self.local_engines = int(local_engines)
+        self.steal_delay = float(steal_delay)
+        self.engine_timeout = float(engine_timeout)
         self.queue = None        # created in start() (needs the loop)
+        self.roster = None
         self.address = None
         self._server = None
         self._stopping = None
@@ -125,21 +157,24 @@ class ExplorationService:
         self._engine = None      # the single session/store thread
         self._dispatch = None    # threads blocking on the mp pool
         self._pool = None
+        self._remote_counter = 0
+        self._affinity_keys = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self, host=DEFAULT_HOST, port=0):
-        """Bind, spin up the scheduler, return self (address set)."""
+        """Bind, spin up the roster and scheduler, return self."""
         self.queue = JobQueue(scheduler=self.scheduler,
                               max_pending=self.queue_cap,
                               retry_after=self.retry_after,
                               job_ttl=self.job_ttl,
                               max_finished=self.max_jobs)
+        self.roster = EngineRoster(steal_delay=self.steal_delay)
         self._stopping = asyncio.Event()
         self._engine = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="lycos-engine")
-        if self.workers > 1:
+        if self.workers > 1 and self.local_engines > 0:
             cache_dir = None if self.session.store is None \
                 else self.session.store.root
             # Hand workers everything already computed here, then keep
@@ -154,12 +189,32 @@ class ExplorationService:
             self._dispatch = concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.workers,
                 thread_name_prefix="lycos-dispatch")
-        self._tasks = [asyncio.ensure_future(self._worker_loop())
-                       for _ in range(self.workers)]
+        self._tasks = [asyncio.ensure_future(self._dispatch_loop()),
+                       asyncio.ensure_future(self._reap_loop())]
+        for number in range(self.local_engines):
+            engine = LocalEngine("local-%d" % (number + 1),
+                                 slots=self._local_slots(number))
+            await self.roster.add(engine)
+            for _ in range(engine.slots):
+                self._tasks.append(
+                    asyncio.ensure_future(self._local_pump(engine)))
         self._server = await asyncio.start_server(
             self._handle, host, port, limit=protocol.MAX_LINE_BYTES)
         self.address = self._server.sockets[0].getsockname()[:2]
         return self
+
+    def _local_slots(self, number):
+        """Evaluation slots of the ``number``-th local engine.
+
+        ``workers`` is the total local parallelism; it is spread over
+        the local engines (remainder to the earliest), each engine
+        getting at least one slot.
+        """
+        share = self.workers // max(1, self.local_engines)
+        extra = 1 if number < self.workers % max(1,
+                                                 self.local_engines) \
+            else 0
+        return max(1, share + extra)
 
     async def run_until_shutdown(self):
         """Serve until a shutdown request (or cancellation) arrives."""
@@ -209,24 +264,64 @@ class ExplorationService:
             self._engine, callable_, *args)
 
     # ------------------------------------------------------------------
-    # Scheduler
+    # Scheduling: policy -> placement -> engines
     # ------------------------------------------------------------------
-    async def _worker_loop(self):
+    def _affinity_key(self, point):
+        """The placement key of one point: its program fingerprint.
+
+        Falls back to the bare app name when the fingerprint cannot be
+        computed (an unknown app, say — it will fail per-point anyway,
+        and the failure may as well be affine too).  Memoised per app:
+        the fingerprint covers source + profiling inputs + library,
+        none of which change within one service life.
+        """
+        key = self._affinity_keys.get(point.app)
+        if key is None:
+            try:
+                key = self.session.program_affinity_key(point.app)
+            except Exception:
+                key = "app:%s" % point.app
+            self._affinity_keys[point.app] = key
+        return key
+
+    async def _dispatch_loop(self):
+        """Pull units from the queue policy and place them on engines.
+
+        The policy decides *what* runs next; the roster decides
+        *where*.  Placement blocks while the affine engine's lane is
+        full, which keeps policy decisions late — at most ``slots``
+        units are committed to an engine ahead of its evaluation.
+        """
         while True:
             job, index = await self.queue.next_unit()
-            try:
-                await self._run_unit(job, index)
-            except asyncio.CancelledError:
-                raise
-            except Exception:
-                # A unit must never kill its scheduler slot; the point
-                # is recorded as failed and the loop keeps draining.
-                pass
+            if job.states[index] != PENDING:
+                continue  # cancelled while queued
+            key = self._affinity_key(job.points[index])
+            await self.roster.place(job, index, key)
 
-    async def _run_unit(self, job, index):
-        if job.states[index] != PENDING:
-            return  # cancelled while queued
-        job.states[index] = RUNNING
+    async def _reap_loop(self):
+        """Fail remote engines that went silent past the timeout."""
+        interval = max(0.05, self.engine_timeout / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            for engine in self.roster.reap_stale(self.engine_timeout):
+                await self.roster.fail(engine)
+
+    async def _local_pump(self, engine):
+        """One evaluation slot of a local engine."""
+        while True:
+            units = await self.roster.take(engine, max_units=1)
+            for unit in units:
+                try:
+                    await self._run_unit(engine, unit.job, unit.index)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    # A unit must never kill its engine slot; the point
+                    # is recorded as failed and the pump keeps going.
+                    pass
+
+    async def _run_unit(self, engine, job, index):
         point = job.points[index]
         store_delta = None
         try:
@@ -253,7 +348,15 @@ class ExplorationService:
                                   store_delta)
         except Exception:
             pass
+        await self._record(engine, job, index, result, stats_delta)
+
+    async def _record(self, engine, job, index, result, stats_delta):
+        """Terminal bookkeeping one completed unit shares across
+        engine kinds: job record, engine accounting, roster release,
+        and the job-completion durability flush."""
+        engine.record_stats(stats_delta)
         await job.record(index, result, stats_delta)
+        await self.roster.complete(engine, job.id, index)
         if job.finished:
             self.queue.collect_garbage()
             # A streamed "done" implies durability: force the flush the
@@ -279,13 +382,31 @@ class ExplorationService:
             self.session.store.maybe_flush(self.session.cache,
                                            self.flush_interval)
 
+    def _absorb_remote(self, stats_delta, store_delta):
+        """Absorb one remote delta frame; runs on the engine thread.
+
+        Returns the number of store entries absorbed.  Runs *before*
+        the frame's results are recorded, so a job can only finish
+        once every delta that travelled with its results has reached
+        the store — the other half of the durability barrier.
+        """
+        if stats_delta:
+            self.session.stats.merge(stats_delta)
+        absorbed = 0
+        if self.session.store is not None and store_delta:
+            absorbed = self.session.store.absorb_delta(store_delta)
+        if self.session.store is not None:
+            self.session.store.maybe_flush(self.session.cache,
+                                           self.flush_interval)
+        return absorbed
+
     # ------------------------------------------------------------------
     # Protocol handling
     # ------------------------------------------------------------------
     async def _handle(self, reader, writer):
         task = asyncio.current_task()
         self._connections.add(task)
-        authenticated = self.token is None
+        conn = _Connection(authenticated=self.token is None)
         try:
             while not self._stopping.is_set():
                 try:
@@ -309,9 +430,9 @@ class ExplorationService:
                         await writer.drain()
                         if not granted:
                             break  # no guessing on one connection
-                        authenticated = True
+                        conn.authenticated = True
                         continue
-                    if not authenticated:
+                    if not conn.authenticated:
                         # Rejected (and the link dropped) before any
                         # job state exists — the auth contract.
                         writer.write(protocol.encode(protocol.error(
@@ -320,14 +441,29 @@ class ExplorationService:
                             auth_required=True)))
                         await writer.drain()
                         break
-                    await self._dispatch_request(request, writer)
+                    await self._dispatch_request(request, writer, conn)
                 except (protocol.ProtocolError, ReproError) as exc:
                     writer.write(protocol.encode(protocol.error(exc)))
                     await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-reply; nothing to clean up
+        except asyncio.CancelledError:
+            # Service shutdown cancels connection handlers, possibly
+            # mid-request (a worker parked in a lease long-poll).  The
+            # connection is closing either way; ending the task
+            # normally keeps the cancellation out of the event loop's
+            # exception log.
+            pass
         finally:
             self._connections.discard(task)
+            if conn.engine is not None:
+                # The engine's lifetime is its connection's: a worker
+                # that vanishes (cleanly or not) has its units
+                # re-queued onto the surviving engines.
+                try:
+                    await asyncio.shield(self.roster.fail(conn.engine))
+                except Exception:
+                    pass
             writer.close()
 
     def _check_token(self, request):
@@ -338,7 +474,23 @@ class ExplorationService:
         return hmac.compare_digest(supplied.encode("utf-8"),
                                    self.token.encode("utf-8"))
 
-    async def _dispatch_request(self, request, writer):
+    def _connection_engine(self, request, conn):
+        """The engine bound to this connection, checked against the
+        request — lease/delta/heartbeat only speak for the engine that
+        joined on the *same* connection, so no worker can touch
+        another engine's units."""
+        engine = conn.engine
+        if engine is None:
+            raise ReproError("no engine joined on this connection "
+                             "(send {\"op\": \"join\", ...} first)")
+        named = protocol.engine_name(request)
+        if named != engine.id:
+            raise ReproError(
+                "engine %r is not joined on this connection (this "
+                "connection's engine is %r)" % (named, engine.id))
+        return engine
+
+    async def _dispatch_request(self, request, writer, conn):
         op = request["op"]
         # Retention is enforced at every touch point, so an idle-then
         # -polled service trims itself before answering.
@@ -357,7 +509,9 @@ class ExplorationService:
                 depth=self.queue.depth,
                 queue_cap=self.queue.max_pending,
                 program_compiles=stats.miss_count("compile"),
-                program_store_hits=stats.hit_count("compile"))))
+                program_store_hits=stats.hit_count("compile"),
+                local_engines=self.local_engines,
+                engines=self.roster.status())))
         elif op == "submit":
             points = protocol.submission_points(request)
             client, weight = protocol.submission_meta(request)
@@ -388,12 +542,113 @@ class ExplorationService:
             writer.write(protocol.encode(protocol.ok(
                 jobs=[self.queue.status(self.queue.jobs[name])
                       for name in sorted(self.queue.jobs)])))
+        elif op == "join":
+            await self._handle_join(request, writer, conn)
+        elif op == "lease":
+            await self._handle_lease(request, writer, conn)
+        elif op == "delta":
+            await self._handle_delta(request, writer, conn)
+        elif op == "engine-heartbeat":
+            engine = self._connection_engine(request, conn)
+            engine.touch()
+            writer.write(protocol.encode(protocol.ok(
+                engine=engine.id, queued=len(engine.lane),
+                in_flight=len(engine.inflight))))
         elif op == "shutdown":
             writer.write(protocol.encode(protocol.ok(stopping=True)))
             await writer.drain()
             self._stopping.set()
             return
         await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Fabric ops
+    # ------------------------------------------------------------------
+    async def _handle_join(self, request, writer, conn):
+        if conn.engine is not None:
+            raise ReproError("this connection already joined engine %r"
+                             % conn.engine.id)
+        label, slots = protocol.join_fields(request)
+        self._remote_counter += 1
+        base = label or ("remote-%d" % self._remote_counter)
+        engine = RemoteEngine(self.roster.unique_id(base),
+                              slots=slots, label=label)
+        await self.roster.add(engine)
+        conn.engine = engine
+        writer.write(protocol.encode(protocol.ok(
+            engine=engine.id, slots=engine.slots,
+            timeout=self.engine_timeout,
+            heartbeat=max(0.05, self.engine_timeout / 3.0))))
+
+    async def _handle_lease(self, request, writer, conn):
+        engine = self._connection_engine(request, conn)
+        max_units, wait = protocol.lease_fields(request)
+        engine.touch()
+        units = await self.roster.take(engine, max_units=max_units,
+                                       timeout=wait)
+        from repro.io.serialize import design_point_to_dict
+
+        writer.write(protocol.encode(protocol.ok(
+            engine=engine.id,
+            points=[{"job": unit.job.id, "index": unit.index,
+                     "point": design_point_to_dict(
+                         unit.job.points[unit.index])}
+                    for unit in units])))
+
+    async def _handle_delta(self, request, writer, conn):
+        """Absorb one worker delta frame: store first, results second.
+
+        The whole frame is validated and decoded *before* anything is
+        applied — a malformed result document or store blob rejects
+        the frame with no coordinator state touched (the fuzz-tier
+        contract).  Results are only accepted for units this engine
+        holds a lease on; anything else (a re-send after a reconnect,
+        a confused worker) is counted and ignored — the re-queue path
+        already covers those points.
+        """
+        engine = self._connection_engine(request, conn)
+        entries, blob = protocol.delta_fields(request)
+        store_delta = None if blob is None \
+            else protocol.decode_store_delta(blob)
+        from repro.io.serialize import point_result_from_dict
+
+        decoded = []
+        for job_id, index, document, stats_delta in entries:
+            result = point_result_from_dict(
+                document, library=self.session.library)
+            decoded.append((job_id, index, result, stats_delta))
+        engine.touch()
+        absorbed = 0
+        if store_delta is not None or any(
+                stats for _, _, _, stats in decoded):
+            merged_stats = {}
+            for _, _, _, stats in decoded:
+                for stage, (hits, misses) in stats.items():
+                    entry = merged_stats.setdefault(stage, [0, 0])
+                    entry[0] += hits
+                    entry[1] += misses
+            merged_stats = {stage: tuple(pair) for stage, pair
+                            in merged_stats.items()}
+            try:
+                absorbed = await self._on_engine(
+                    self._absorb_remote, merged_stats, store_delta)
+            except Exception:
+                absorbed = 0  # bookkeeping must not discard results
+        engine.deltas_absorbed += 1
+        engine.delta_entries += absorbed
+        recorded = 0
+        stale = 0
+        for job_id, index, result, stats_delta in decoded:
+            unit = engine.inflight.get((job_id, index))
+            if unit is None:
+                stale += 1
+                continue
+            await self._record(engine, unit.job, index, result,
+                               stats_delta)
+            recorded += 1
+        writer.write(protocol.encode(protocol.ok(
+            engine=engine.id, recorded=recorded, stale=stale,
+            store_entries=absorbed)))
 
     async def _stream_results(self, job, writer):
         """Replay finished points, then follow live until terminal.
@@ -437,7 +692,9 @@ class ExplorationService:
 def serve(cache_dir=None, workers=1, host=DEFAULT_HOST,
           port=DEFAULT_PORT, library=None, flush_interval=2.0,
           announce=print, token=None, scheduler="fifo", queue_cap=None,
-          job_ttl=None, max_jobs=None):
+          job_ttl=None, max_jobs=None, local_engines=1,
+          steal_delay=DEFAULT_STEAL_DELAY,
+          engine_timeout=DEFAULT_ENGINE_TIMEOUT):
     """Blocking entry point: build the session, serve until shutdown.
 
     Runs until a ``shutdown`` request or ``KeyboardInterrupt``; either
@@ -445,6 +702,8 @@ def serve(cache_dir=None, workers=1, host=DEFAULT_HOST,
     computed stays warm for the next one.  Binding a non-loopback
     ``host`` requires ``token`` — an open service beyond localhost
     would hand the store (and the engine) to the whole network.
+    ``local_engines=0`` starts a pure coordinator: nothing evaluates
+    until worker processes join (``serve --join``).
     """
     if token is None and host not in LOOPBACK_HOSTS:
         raise ReproError(
@@ -457,13 +716,17 @@ def serve(cache_dir=None, workers=1, host=DEFAULT_HOST,
                                      flush_interval=flush_interval,
                                      token=token, scheduler=scheduler,
                                      queue_cap=queue_cap,
-                                     job_ttl=job_ttl, max_jobs=max_jobs)
+                                     job_ttl=job_ttl, max_jobs=max_jobs,
+                                     local_engines=local_engines,
+                                     steal_delay=steal_delay,
+                                     engine_timeout=engine_timeout)
         await service.start(host=host, port=port)
         if announce is not None:
-            announce("serving on %s:%d (workers=%d, scheduler=%s, "
-                     "cache_dir=%s, auth=%s)"
+            announce("serving on %s:%d (workers=%d, local engines=%d, "
+                     "scheduler=%s, cache_dir=%s, auth=%s)"
                      % (service.address[0], service.address[1],
-                        workers, scheduler, cache_dir or "none",
+                        workers, local_engines, scheduler,
+                        cache_dir or "none",
                         "token" if token else "none"))
         try:
             await service.run_until_shutdown()

@@ -21,13 +21,18 @@ import random
 import socket
 
 from repro.engine import DesignPoint
-from repro.io.serialize import design_point_to_dict
+from repro.io.serialize import FORMAT_VERSION, design_point_to_dict
 from repro.service import protocol
 from repro.service.protocol import (
     ProtocolError,
     auth_token,
     decode_request,
+    decode_store_delta,
+    delta_fields,
+    engine_name,
     job_name,
+    join_fields,
+    lease_fields,
     submission_points,
     submission_meta,
 )
@@ -37,6 +42,14 @@ from repro.service.protocol import (
 #: fast per-point instead of grinding the engine.
 FUZZ_POINT = design_point_to_dict(
     DesignPoint(app="zz-no-such-app", area=1000.0, quanta=60))
+
+#: A structurally valid point-result document for the delta template —
+#: whether its unit was ever leased is the server's problem (it counts
+#: unleased results as stale), the wire shape is the fuzz target here.
+FUZZ_RESULT = {"kind": "point-result", "version": FORMAT_VERSION,
+               "point": FUZZ_POINT, "allocation": None,
+               "speedup": 0.0, "datapath_area": 0.0, "hw_bsbs": [],
+               "error": {"kind": "ReproError", "message": "fuzz"}}
 
 
 def valid_requests():
@@ -52,6 +65,19 @@ def valid_requests():
         {"op": "cancel", "job": "job-1"},
         {"op": "jobs"},
         {"op": "auth", "token": "hunter2"},
+        # The fabric ops (ISSUE 7).  The lease waits 0 seconds so a
+        # mutation-surviving lease answers immediately instead of
+        # long-polling the fuzz connection.
+        {"op": "join", "engine": "fuzz-worker", "slots": 2},
+        {"op": "lease", "engine": "fuzz-worker", "max": 1, "wait": 0},
+        {"op": "delta", "engine": "fuzz-worker",
+         "results": [{"job": "job-1", "index": 0,
+                      "result": FUZZ_RESULT,
+                      "stats": {"alloc": [1, 0]}}],
+         "store": protocol.encode_store_delta({"sched": {}})},
+        {"op": "delta", "engine": "fuzz-worker", "results": [],
+         "store": None},
+        {"op": "engine-heartbeat", "engine": "fuzz-worker"},
     ]
 
 
@@ -102,6 +128,18 @@ def exercise_validators(request):
         job_name(request)
     elif op == "auth":
         auth_token(request)
+    elif op == "join":
+        join_fields(request)
+    elif op == "lease":
+        engine_name(request)
+        lease_fields(request)
+    elif op == "engine-heartbeat":
+        engine_name(request)
+    elif op == "delta":
+        engine_name(request)
+        _, blob = delta_fields(request)
+        if blob is not None:
+            decode_store_delta(blob)
 
 
 class TestUnitFuzz:
@@ -213,10 +251,14 @@ class TestServerFuzz:
                 while True:  # drain whatever the server answers
                     if not sock.recv(65536):
                         break
-        # No mutation authenticated, so nothing was ever queued.
+        # No mutation authenticated, so nothing was ever queued — and
+        # no fuzzed join ever attached an engine: the roster still
+        # holds exactly the default local engine.
         client = harness.client()
         assert client.ping()["jobs"] == 0
         assert client.jobs() == []
+        assert [engine["kind"]
+                for engine in client.ping()["engines"]] == ["local"]
 
     def test_oversized_line_then_recovery(self, harness):
         """A framing violation drops that connection only; the next
