@@ -46,6 +46,7 @@ import sys
 from repro.apps.registry import application_names, application_spec
 from repro.core.allocator import allocate
 from repro.core.exhaustive import SEARCH_MODES
+from repro.core.objective import OBJECTIVE_NAMES
 from repro.hwlib.library import default_library
 from repro.report.experiments import (
     design_iteration_report,
@@ -164,6 +165,13 @@ def build_parser():
                         help="exhaustive-search mode: brute enumerates "
                              "every candidate, pruned walks the same "
                              "space branch-and-bound (identical winner)")
+    table1.add_argument("--objective", choices=OBJECTIVE_NAMES,
+                        default="speedup",
+                        help="ranking tournament for the exhaustive "
+                             "best: speedup (the paper's contract), "
+                             "area, energy, or pareto (default plus "
+                             "the non-dominated front) "
+                             "(default: %(default)s)")
 
     fig3 = commands.add_parser(
         "fig3", help="regenerate Figure 3's data-path budget sweep")
@@ -230,6 +238,12 @@ def build_parser():
                        help="persistent engine store directory shared "
                             "by all workers; a second run replays the "
                             "pipeline stages from disk")
+    sweep.add_argument("--objective", choices=OBJECTIVE_NAMES,
+                       default="speedup",
+                       help="ranking of the swept points: speedup "
+                            "(default, the historical best line), "
+                            "area, energy, or pareto (adds the "
+                            "non-dominated front and its hypervolume)")
 
     cache = commands.add_parser(
         "cache", help="inspect, compact or clear a persistent engine "
@@ -333,6 +347,12 @@ def build_parser():
     submit.add_argument("--weight", type=int, default=1,
                         help="fair-scheduler share of this client "
                              "(default: %(default)s)")
+    submit.add_argument("--objective", choices=OBJECTIVE_NAMES,
+                        default="speedup",
+                        help="objective recorded on the job (travels "
+                             "with it, shown by status; per-point "
+                             "evaluation is objective-independent) "
+                             "(default: %(default)s)")
     _add_service_address(submit)
     _add_token_arguments(submit)
 
@@ -364,7 +384,7 @@ def cmd_table1(args):
     session = _session(args) if args.cache_dir is not None else None
     rows = table1_rows(names=args.apps, max_evaluations=args.budget,
                        workers=args.workers, session=session,
-                       search=args.search)
+                       search=args.search, objective=args.objective)
     print(render_table1(rows))
     for row in rows:
         print()
@@ -378,6 +398,25 @@ def cmd_table1(args):
               "subtrees_pruned=%d bound_evaluations=%d"
               % (row.name, row.search, row.evaluations, row.space,
                  row.subtrees_pruned, row.bound_evaluations))
+    # Objective-specific reporting is strictly additive and gated on a
+    # non-default objective, so the default (and --objective speedup)
+    # output stays byte-identical to what it always was.
+    if args.objective == "energy":
+        print()
+        for row in rows:
+            print("%s: best energy     %.2f" % (row.name,
+                                                row.best_energy))
+    elif args.objective == "pareto":
+        print()
+        for row in rows:
+            front = row.front
+            if front is None:
+                continue
+            print("%s: pareto front    %d point(s), hypervolume %.3f"
+                  % (row.name, len(front), front.hypervolume()))
+            for (speedup, neg_area, neg_energy), _ in front.points():
+                print("%s:   su %.1f%%  data-path %.0f  energy %.2f"
+                      % (row.name, speedup, -neg_area, -neg_energy))
     if session is not None:
         # Store-backed runs report their cache economy (the CI warm
         # rerun, the program-store check and the compaction check all
@@ -538,6 +577,7 @@ def cmd_sweep(args):
     print("\nbest point: %s area %.0f policy %s -> SU %.0f%%"
           % (best.point.app, best.point.area,
              best.point.policy or "designated", best.speedup))
+    _sweep_objective_report(args, results)
     # Worker accounting is merged into the parent session, so the
     # summary is real for parallel sweeps too.
     print("\nengine cache:")
@@ -548,6 +588,61 @@ def cmd_sweep(args):
              stats.hit_count() + stats.miss_count()))
     print("frontend compiles: %d (program store hits: %d)"
           % (stats.miss_count("compile"), stats.hit_count("compile")))
+
+
+def _sweep_objective_report(args, results):
+    """Extra sweep reporting for a non-default ``--objective``.
+
+    Additive and gated, so the default sweep output is byte-identical
+    to the historical one.  Points rank on the result's own metrics
+    (speed-up, data-path area, modelled energy); failed points carry
+    zeros and never win a minimising objective, so they are excluded.
+    """
+    from repro.report.tables import render_table
+
+    if args.objective == "speedup":
+        return
+    ranked = [result for result in results if result.error is None]
+    if not ranked:
+        print("\nobjective %s: no successful points" % args.objective)
+        return
+    if args.objective == "pareto":
+        from repro.core.objective import get_objective
+
+        front = get_objective("pareto").new_front()
+        for result in ranked:
+            front.add((result.speedup, -result.datapath_area,
+                       -result.energy), result)
+        headers = ["App", "Area", "Policy", "Speed-up", "Data-path",
+                   "Energy"]
+        rows = [[payload.point.app,
+                 "%.0f" % payload.point.area,
+                 payload.point.policy or "designated",
+                 "%.0f%%" % speedup,
+                 "%.0f" % -neg_area,
+                 "%.2f" % -neg_energy]
+                for (speedup, neg_area, neg_energy), payload
+                in front.points()]
+        print()
+        print(render_table(headers, rows,
+                           title="Pareto front (speed-up, -area, "
+                                 "-energy): %d of %d points"
+                                 % (len(front), len(ranked))))
+        print("hypervolume: %.3f" % front.hypervolume())
+        return
+    if args.objective == "area":
+        def rank(result):
+            return (-result.datapath_area, result.speedup)
+    else:  # energy
+        def rank(result):
+            return (-result.energy, result.speedup,
+                    -result.datapath_area)
+    best = max(ranked, key=rank)
+    print("best by %s: %s area %.0f policy %s -> SU %.0f%% "
+          "data-path %.0f energy %.2f"
+          % (args.objective, best.point.app, best.point.area,
+             best.point.policy or "designated", best.speedup,
+             best.datapath_area, best.energy))
 
 
 def cmd_cache(args):
@@ -597,6 +692,20 @@ def cmd_cache(args):
         print("%-12s %7d entries  %9d bytes" % (stage, entries, size))
     print("%-12s %7d entries  %9d bytes" % ("total", total_entries,
                                             total_bytes))
+    # Fabric observability: per-engine compression economy of absorbed
+    # store deltas.  Only printed for a store a coordinator absorbed
+    # remote deltas into, so a purely local store's info output is
+    # unchanged.
+    deltas = store.delta_stats()
+    if deltas:
+        print()
+        print("absorbed store deltas (wire compression):")
+        for engine, stats in deltas.items():
+            raw = stats["raw_bytes"]
+            compressed = stats["compressed_bytes"]
+            saved = (100.0 * (1.0 - compressed / raw)) if raw else 0.0
+            print("%-12s %5d frame(s)  %9d -> %9d bytes (%.1f%% saved)"
+                  % (engine, stats["frames"], raw, compressed, saved))
 
 
 def cmd_serve(args):
@@ -679,6 +788,10 @@ def _print_job_status(status):
     print("job %s: %s  (%d done / %d total, %d errors, %d cancelled)"
           % (status["job"], status["state"], status["done"],
              status["total"], status["errors"], status["cancelled"]))
+    # Non-default objectives are worth a line; the default stays
+    # silent so historical status output is byte-identical.
+    if status.get("objective", "speedup") != "speedup":
+        print("objective: %s" % status["objective"])
     lookups = status["hits"] + status["misses"]
     print("hit rate: %.1f%% (%d hits / %d lookups)"
           % (100.0 * status["hit_rate"], status["hits"], lookups))
@@ -701,7 +814,8 @@ def cmd_submit(args):
     points = _grid_points(args.apps, args.fractions, args.policies,
                           args.quanta)
     client = _service_client(args)
-    job = client.submit(points, weight=args.weight)
+    job = client.submit(points, weight=args.weight,
+                        objective=args.objective)
     if client.last_submit_rejections:
         print("admitted after %d queue-full rejection(s)"
               % client.last_submit_rejections)
@@ -733,9 +847,12 @@ def cmd_status(args):
     # so a single-engine service still prints exactly what it used to
     # plus its one roster line).
     for engine in info.get("engines", []):
+        # The delta-bytes suffix is appended at the end of the line so
+        # anything parsing the historical prefix still matches.
         print("engine %-12s %s%-6s %d slot(s), %d queued, %d in "
               "flight, %d done (%d stolen), hit rate %.1f%%, "
-              "%d delta(s)/%d entr(ies) absorbed"
+              "%d delta(s)/%d entr(ies) absorbed, %d -> %d delta "
+              "byte(s)"
               % (engine["engine"], engine["kind"],
                  "" if engine.get("alive", True) else " DEAD",
                  engine["slots"], engine["queued"],
@@ -743,7 +860,9 @@ def cmd_status(args):
                  engine.get("stolen", 0),
                  100.0 * engine.get("hit_rate", 0.0),
                  engine.get("deltas_absorbed", 0),
-                 engine.get("delta_entries", 0)))
+                 engine.get("delta_entries", 0),
+                 engine.get("delta_raw_bytes", 0),
+                 engine.get("delta_compressed_bytes", 0)))
     for status in client.jobs():
         _print_job_status(status)
 

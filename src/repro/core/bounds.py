@@ -61,8 +61,10 @@ class BoundEngine:
     """
 
     def __init__(self, bsbs, architecture, names, caps, cache):
+        self._bsbs = bsbs
         self._architecture = architecture
         self._cache = cache
+        self._energy_items = None  # built lazily by energy_floor()
         self._ratio = architecture.hw_cycle_ratio
         self._total_area = architecture.total_area
         self._technology = architecture.library.technology
@@ -191,3 +193,43 @@ class BoundEngine:
         # Mirror the evaluated expression exactly (monotone in the
         # saving even under floating point), then inflate.
         return speedup_percent(sw_all, hybrid_floor) * (1.0 + _BOUND_RTOL)
+
+    def energy_floor(self, effective):
+        """Admissible energy lower bound of any completion.
+
+        Every completion of the prefix allocates, per axis, at most
+        ``effective[axis]`` units, and hardware support only grows
+        with counts — so a BSB unsupported under ``effective`` stays
+        in software in *every* leaf of the subtree and contributes its
+        software energy exactly, while a supported BSB contributes at
+        least the cheaper of its two sides.  The per-BSB energies are
+        the very pairs the evaluator sums
+        (:func:`~repro.partition.model.bsb_energy_pairs`), summed in
+        the same order, so no completion can land below the floor.
+        """
+        items = self._energy_items
+        if items is None:
+            from repro.partition.model import bsb_energy_pairs
+
+            pairs = bsb_energy_pairs(self._bsbs, self._architecture,
+                                     cache=self._cache)
+            items = []
+            for (sw_energy, hw_energy), info in zip(pairs, self._infos):
+                # info is None for BSBs that can never move anywhere in
+                # the space; requirements slot 4 holds the per-type
+                # capable axes otherwise (empty tuple for an empty DFG,
+                # which is movable under every allocation).
+                if info is None or hw_energy is None:
+                    items.append((sw_energy, None, ()))
+                else:
+                    items.append((sw_energy, hw_energy, info[4]))
+            self._energy_items = items = tuple(items)
+        floor = 0.0
+        for sw_energy, hw_energy, requirements in items:
+            if hw_energy is not None and hw_energy < sw_energy and all(
+                    any(effective[axis] for axis in axes)
+                    for axes in requirements):
+                floor += hw_energy
+            else:
+                floor += sw_energy
+        return floor

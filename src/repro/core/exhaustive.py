@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.core.allocator import required_resources
 from repro.core.bounds import BoundEngine
+from repro.core.objective import as_objective
 from repro.core.restrictions import asap_restrictions
 from repro.core.rmap import RMap
 from repro.errors import AllocationError, ReproError
@@ -224,6 +225,11 @@ class ExhaustiveResult:
         pruned_leaves: Candidate allocations inside those subtrees;
             ``evaluations + skipped_infeasible + pruned_leaves ==
             space`` holds for every enumerated search.
+        objective: Name of the objective the tournament ranked
+            candidates under (``"speedup"`` unless overridden).
+        front: The :class:`~repro.core.objective.ParetoFront` collected
+            over every evaluated candidate when the objective was
+            ``"pareto"``; ``None`` otherwise.
     """
 
     best_allocation: RMap
@@ -238,15 +244,21 @@ class ExhaustiveResult:
     subtrees_pruned: int = 0
     bound_evaluations: int = 0
     pruned_leaves: int = 0
+    objective: str = "speedup"
+    front: object = None
 
 
 def _scan_candidates(candidates, bsbs, architecture, area_quanta,
-                     keep_history, session, unit_areas, check_area):
+                     keep_history, session, unit_areas, check_area,
+                     objective):
     """The inner evaluation loop, shared by the serial path and every
     parallel worker so both scan a candidate stream identically.
 
-    Returns (best allocation, best evaluation, evaluations,
-    skipped_infeasible, history).
+    Candidates are ranked by ``objective`` (the default objective's
+    tournament is bit-identical to the historical :func:`_better`);
+    a Pareto-style objective additionally accumulates its dominance
+    front over every evaluated candidate.  Returns (best allocation,
+    best evaluation, evaluations, skipped_infeasible, history, front).
     """
     library = architecture.library
     # remember="partitions": each candidate is visited exactly once, so
@@ -257,6 +269,8 @@ def _scan_candidates(candidates, bsbs, architecture, area_quanta,
     # session — a warm restart replays them from disk — and dropped
     # otherwise.
     remember = "partitions" if (session.store is not None) else False
+    front = objective.new_front() if hasattr(objective, "new_front") \
+        else None
     best_eval = None
     best_allocation = None
     evaluations = 0
@@ -274,11 +288,14 @@ def _scan_candidates(candidates, bsbs, architecture, area_quanta,
         evaluations += 1
         if keep_history:
             history.append((allocation, evaluation.speedup))
-        if best_eval is None or _better(evaluation, best_eval, library):
+        if front is not None:
+            front.add(objective.vector(evaluation, library), evaluation)
+        if best_eval is None or objective.better(evaluation, best_eval,
+                                                 library):
             best_eval = evaluation
             best_allocation = allocation
     return (best_allocation, best_eval, evaluations, skipped_infeasible,
-            history)
+            history, front)
 
 
 def _empty_prune_stats():
@@ -324,25 +341,37 @@ def _warm_threshold(bsbs, architecture, restrictions, area_quanta,
 
 def _scan_pruned(bsbs, architecture, restrictions, area_quanta,
                  keep_history, session, names, ranges, unit_areas,
-                 total, workers):
+                 total, workers, objective):
     """Drive the branch-and-bound search: prime, then split or recurse.
 
-    Candidate 0 — the empty allocation, always area-feasible — is
-    evaluated up front and seeds every range scan's incumbent, and the
-    greedy allocator's speed-up seeds a strict prune threshold, so even
-    parallel chunks prune against shared bounds from their first node
-    instead of each rediscovering them.  Returns the common scan
-    6-tuple (best allocation, best evaluation, evaluations,
-    skipped_infeasible, history, prune stats).
+    Candidate 0 — the empty allocation, always area-feasible, hence a
+    member of the space under any objective — is evaluated up front and
+    seeds every range scan's incumbent, and (under the default
+    objective) the greedy allocator's speed-up seeds a strict prune
+    threshold, so even parallel chunks prune against shared bounds from
+    their first node instead of each rediscovering them.  A parallel
+    run additionally shares the best-known primary value through a
+    ``multiprocessing.Value``, so a chunk that finds a strong incumbent
+    tightens every other chunk's threshold mid-flight; the sharing is
+    read-only tightening below *achieved* values, so the winner stays
+    bit-identical to the serial walk's (only the prune counters become
+    timing-dependent).  Returns the common scan 7-tuple (best
+    allocation, best evaluation, evaluations, skipped_infeasible,
+    history, front, prune stats).
     """
     remember = "partitions" if (session.store is not None) else False
+    library = architecture.library
     alloc0 = RMap()
     eval0 = evaluate_allocation(bsbs, alloc0, architecture,
                                 area_quanta=area_quanta,
                                 cache=session.cache, remember=remember)
-    warm_su = _warm_threshold(bsbs, architecture, restrictions,
-                              area_quanta, session, names, ranges,
-                              unit_areas, remember)
+    # The warm allocator threshold is a *speed-up* achieved inside the
+    # space; under any other objective it bounds nothing.
+    warm_su = None
+    if objective.name == "speedup":
+        warm_su = _warm_threshold(bsbs, architecture, restrictions,
+                                  area_quanta, session, names, ranges,
+                                  unit_areas, remember)
     best_allocation, best_eval = alloc0, eval0
     evaluations = 1
     skipped_infeasible = 0
@@ -355,17 +384,22 @@ def _scan_pruned(bsbs, architecture, restrictions, area_quanta,
     primed = (alloc0, eval0, warm_su)
     if total > 1:
         if workers > 1 and total > 2:
+            initial = objective.primary(eval0, library)
+            if warm_su is not None and warm_su > initial:
+                initial = warm_su
+            shared = multiprocessing.Value("d", initial)
             outcome = _parallel_scan(
                 bsbs, architecture, restrictions, area_quanta,
                 keep_history, session, unit_areas, False, None,
                 total - 1, min(workers, total - 1), search="pruned",
-                primed=primed, offset=1)
+                primed=primed, offset=1, objective=objective,
+                shared=shared)
         else:
             outcome = _scan_pruned_range(
                 bsbs, architecture, area_quanta, keep_history, session,
-                names, ranges, unit_areas, 1, total, primed)
+                names, ranges, unit_areas, 1, total, primed, objective)
         (range_allocation, range_eval, range_evaluations, range_skipped,
-         range_history, range_prune) = outcome
+         range_history, _, range_prune) = outcome
         evaluations += range_evaluations
         skipped_infeasible += range_skipped
         history.extend(range_history)
@@ -374,12 +408,12 @@ def _scan_pruned(bsbs, architecture, restrictions, area_quanta,
         if range_eval is not None:
             best_allocation, best_eval = range_allocation, range_eval
     return (best_allocation, best_eval, evaluations, skipped_infeasible,
-            history, prune)
+            history, None, prune)
 
 
 def _scan_pruned_range(bsbs, architecture, area_quanta, keep_history,
                        session, names, ranges, unit_areas, start, stop,
-                       incumbent):
+                       incumbent, objective, shared=None):
     """Branch-and-bound over lexicographic indices ``[start, stop)``.
 
     The index range is walked as a mixed-radix prefix tree (first
@@ -387,8 +421,12 @@ def _scan_pruned_range(bsbs, architecture, area_quanta, keep_history,
     decided digits already exceed the ASIC area accounts its whole
     subtree as ``skipped_infeasible`` — and, since a digit only ever
     adds area, so do all of its later siblings at once.  A feasible
-    node whose optimistic speed-up bound cannot beat the incumbent
-    under the `_better` tournament accounts its subtree as pruned.
+    node whose admissible bound on the objective's primary axis cannot
+    beat the incumbent under the objective's tournament accounts its
+    subtree as pruned: the default objective keeps the historical
+    speed-up bound with its exact-tie area rule, area prunes on the
+    negated prefix area (a digit only adds area), and energy prunes on
+    the negated :meth:`~repro.core.bounds.BoundEngine.energy_floor`.
     Surviving leaves are evaluated in scan order through the
     :class:`EvaluationScan` delta path, so evaluated neighbours reuse
     each other's unchanged cost groups.
@@ -397,7 +435,13 @@ def _scan_pruned_range(bsbs, architecture, area_quanta, keep_history,
     threshold) triple; the returned winner is ``(None, None, ...)``
     unless some leaf in the range strictly improved on the primed
     evaluation, which keeps the parallel reduction identical to the
-    serial tournament.
+    serial tournament.  ``shared``, when given, is a
+    ``multiprocessing.Value`` holding the best primary value any
+    parallel chunk has *achieved*; it is read as an extra strict-only
+    prune threshold and advanced monotonically on every improvement,
+    which cannot change the winner (a candidate tying the global
+    optimum always bounds at or above any achieved value) but lets
+    sibling chunks prune harder.
     """
     library = architecture.library
     remember = "partitions" if (session.store is not None) else False
@@ -413,9 +457,12 @@ def _scan_pruned_range(bsbs, architecture, area_quanta, keep_history,
     unit = [unit_areas[name] for name in names]
     total_area = architecture.total_area
 
+    speedup_mode = objective.name == "speedup"
+    energy_mode = objective.name == "energy"
     inc_allocation, inc_eval, warm_su = incumbent
     inc_su = inc_eval.speedup
     inc_area = inc_allocation.area(library)
+    inc_primary = objective.primary(inc_eval, library)
     state = {"improved": False, "evaluations": 0,
              "skipped_infeasible": 0, "subtrees_pruned": 0,
              "bound_evaluations": 0, "pruned_leaves": 0}
@@ -424,7 +471,7 @@ def _scan_pruned_range(bsbs, architecture, area_quanta, keep_history,
     effective = list(caps)
 
     def descend(depth, node_lo, prefix_area):
-        nonlocal inc_allocation, inc_eval, inc_su, inc_area
+        nonlocal inc_allocation, inc_eval, inc_su, inc_area, inc_primary
         if depth == axes:
             allocation = RMap._unchecked(
                 {name: digit for name, digit in zip(names, digits)
@@ -433,11 +480,16 @@ def _scan_pruned_range(bsbs, architecture, area_quanta, keep_history,
             state["evaluations"] += 1
             if keep_history:
                 history.append((allocation, evaluation.speedup))
-            if _better(evaluation, inc_eval, library):
+            if objective.better(evaluation, inc_eval, library):
                 inc_allocation, inc_eval = allocation, evaluation
                 inc_su = evaluation.speedup
                 inc_area = allocation.area(library)
+                inc_primary = objective.primary(evaluation, library)
                 state["improved"] = True
+                if shared is not None:
+                    with shared.get_lock():
+                        if inc_primary > shared.value:
+                            shared.value = inc_primary
             return
         span = suffix[depth + 1]
         for digit in range(caps[depth] + 1):
@@ -458,15 +510,32 @@ def _scan_pruned_range(bsbs, architecture, area_quanta, keep_history,
             digits[depth] = digit
             effective[depth] = digit
             state["bound_evaluations"] += 1
-            bound = engine.speedup_bound(effective, area)
-            if (warm_su is not None and bound < warm_su) \
+            if speedup_mode:
+                bound = engine.speedup_bound(effective, area)
+                prunable = (warm_su is not None and bound < warm_su) \
                     or bound < inc_su \
-                    or (bound == inc_su and area >= inc_area):
+                    or (bound == inc_su and area >= inc_area) \
+                    or (shared is not None and bound < shared.value)
                 # No completion can win the `_better` tournament: the
-                # speed-up bound is admissible, the warm threshold is
-                # achieved inside the space (and only prunes *strictly*
-                # worse subtrees), and on an exact incumbent tie the
-                # area can only grow from the prefix's.
+                # speed-up bound is admissible, the warm threshold (and
+                # the shared best-known value) is achieved inside the
+                # space and only prunes *strictly* worse subtrees, and
+                # on an exact incumbent tie the area can only grow from
+                # the prefix's.
+            else:
+                # Generic admissible upper bound on the primary axis:
+                # higher-is-better, so area negates the prefix floor
+                # and energy negates the completion energy floor.  The
+                # comparisons are strict, so an exact tie with the
+                # incumbent (or with a shared achieved value) is never
+                # pruned and the scan-order tie-break survives.
+                if energy_mode:
+                    bound = -engine.energy_floor(effective)
+                else:
+                    bound = -area
+                prunable = bound < inc_primary \
+                    or (shared is not None and bound < shared.value)
+            if prunable:
                 state["subtrees_pruned"] += 1
                 state["pruned_leaves"] += overlap
             else:
@@ -481,14 +550,28 @@ def _scan_pruned_range(bsbs, architecture, area_quanta, keep_history,
     if not state["improved"]:
         inc_allocation, inc_eval = None, None
     return (inc_allocation, inc_eval, state["evaluations"],
-            state["skipped_infeasible"], history, prune)
+            state["skipped_infeasible"], history, None, prune)
 
 
 def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
                                max_evaluations=None, area_quanta=200,
                                keep_history=False, session=None,
-                               workers=1, search="brute"):
-    """Search the allocation space for the best-speed-up allocation.
+                               workers=1, search="brute",
+                               objective="speedup"):
+    """Search the allocation space for the objective's best allocation.
+
+    ``objective`` names the tournament ranking candidates (an
+    :class:`~repro.core.objective.Objective` instance is accepted
+    too).  The default ``"speedup"`` objective reproduces the paper's
+    contract — highest speed-up, ties to the smaller data-path — bit
+    for bit; ``"area"`` and ``"energy"`` minimise their axis with
+    speed-up as tie-break; ``"pareto"`` keeps the default tournament
+    for the single reported winner while additionally collecting the
+    (speed-up, area, energy) dominance front over every evaluated
+    candidate into the result's ``front``.  An objective without an
+    admissible bound (``pareto`` needs every non-dominated point, so
+    nothing may be pruned) silently downgrades ``search="pruned"`` to
+    the brute scan; the result's ``search`` field reports what ran.
 
     When the space exceeds ``max_evaluations``, distinct feasible
     allocations are drawn pseudo-randomly (seeded, reproducible) until
@@ -531,6 +614,9 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
     if search not in SEARCH_MODES:
         raise AllocationError("search must be one of %r, got %r"
                               % (SEARCH_MODES, search))
+    objective = as_objective(objective)
+    if search == "pruned" and not objective.bounded:
+        search = "brute"
     library = architecture.library
     # Register the BSBs with the session's persistent store (and
     # hydrate their entries) no matter how the search was entered —
@@ -564,20 +650,22 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
     if not sampled and search == "pruned":
         outcome = _scan_pruned(bsbs, architecture, restrictions,
                                area_quanta, keep_history, session,
-                               names, ranges, unit_areas, total, workers)
+                               names, ranges, unit_areas, total, workers,
+                               objective)
     elif workers > 1 and workload > 1:
         outcome = _parallel_scan(
             bsbs, architecture, restrictions, area_quanta, keep_history,
             session, unit_areas, sampled, candidates, workload,
-            min(workers, workload))
+            min(workers, workload), objective=objective)
     else:
         outcome = _scan_candidates(candidates, bsbs, architecture,
                                    area_quanta, keep_history, session,
                                    unit_areas,
-                                   check_area=not sampled) \
+                                   check_area=not sampled,
+                                   objective=objective) \
             + (_empty_prune_stats(),)
     (best_allocation, best_eval, evaluations, skipped_scanning,
-     history, prune) = outcome
+     history, front, prune) = outcome
     skipped_infeasible += skipped_scanning
     # Persist what this search learned (worker deltas included) right
     # away — searches are long and a crash should not lose them.  For a
@@ -601,6 +689,8 @@ def exhaustive_best_allocation(bsbs, architecture, restrictions=None,
         subtrees_pruned=prune["subtrees_pruned"],
         bound_evaluations=prune["bound_evaluations"],
         pruned_leaves=prune["pruned_leaves"],
+        objective=objective.name,
+        front=front,
     )
 
 
@@ -627,7 +717,7 @@ _WORKER_SCAN_CONTEXT = None
 def _parallel_scan(bsbs, architecture, restrictions, area_quanta,
                    keep_history, session, unit_areas, sampled,
                    candidates, workload, workers, search="brute",
-                   primed=None, offset=0):
+                   primed=None, offset=0, objective=None, shared=None):
     """Fan the candidate stream out over a pool; reduce chunk winners.
 
     Chunks are contiguous slices of the exact stream the serial loop
@@ -635,11 +725,17 @@ def _parallel_scan(bsbs, architecture, restrictions, area_quanta,
     enumerated searches (shipping ~10^6 RMaps would swamp the pipes),
     the pre-drawn candidate slices themselves for the sampled search.
     A pruned search chunks the index range ``[offset, offset +
-    workload)`` and hands every worker the ``primed`` incumbent, so the
-    chunks prune independently against a common initial bound; each
+    workload)`` and hands every worker the ``primed`` incumbent (plus
+    the ``shared`` best-known primary value, tightened mid-flight), so
+    the chunks prune independently against a common initial bound; each
     returns a winner only where it *improved* on that incumbent, which
     keeps the chunk-order reduction identical to the serial tournament.
+    A Pareto objective's chunk fronts are merged in chunk order —
+    dominance is order-independent and an exact vector tie keeps the
+    first point in scan order either way, so the merged front equals
+    the serial scan's.
     """
+    objective = as_objective(objective)
     chunk_count = min(workload, workers * _CHUNKS_PER_WORKER)
     bounds = [offset + (index * workload) // chunk_count
               for index in range(chunk_count + 1)]
@@ -661,7 +757,8 @@ def _parallel_scan(bsbs, architecture, restrictions, area_quanta,
             processes=workers,
             initializer=_scan_worker_init,
             initargs=(bsbs, architecture, restrictions, area_quanta,
-                      keep_history, cache_dir, primed)) as pool:
+                      keep_history, cache_dir, primed, objective.name,
+                      shared)) as pool:
         results = pool.map(_scan_worker_chunk, specs, chunksize=1)
 
     best_eval = None
@@ -669,30 +766,37 @@ def _parallel_scan(bsbs, architecture, restrictions, area_quanta,
     evaluations = 0
     skipped_infeasible = 0
     history = []
+    front = objective.new_front() if hasattr(objective, "new_front") \
+        else None
     prune = _empty_prune_stats()
     library = architecture.library
     for (chunk_allocation, chunk_eval, chunk_evaluations, chunk_skipped,
-         chunk_history, chunk_prune, stats_delta, store_delta) in results:
+         chunk_history, chunk_front, chunk_prune, stats_delta,
+         store_delta) in results:
         session.stats.merge(stats_delta)
         if session.store is not None and store_delta:
             session.store.absorb_delta(store_delta)
         evaluations += chunk_evaluations
         skipped_infeasible += chunk_skipped
         history.extend(chunk_history)
+        if front is not None and chunk_front is not None:
+            front.merge(chunk_front)
         if chunk_prune is not None:
             for stage, count in chunk_prune.items():
                 prune[stage] += count
         if chunk_eval is None:
             continue
-        if best_eval is None or _better(chunk_eval, best_eval, library):
+        if best_eval is None or objective.better(chunk_eval, best_eval,
+                                                 library):
             best_eval = chunk_eval
             best_allocation = chunk_allocation
     return (best_allocation, best_eval, evaluations, skipped_infeasible,
-            history, prune)
+            history, front, prune)
 
 
 def _scan_worker_init(bsbs, architecture, restrictions, area_quanta,
-                      keep_history, cache_dir, primed=None):
+                      keep_history, cache_dir, primed=None,
+                      objective_name=None, shared=None):
     global _WORKER_SCAN_CONTEXT
     from repro.engine.session import Session
 
@@ -702,15 +806,18 @@ def _scan_worker_init(bsbs, architecture, restrictions, area_quanta,
                                      restrictions=restrictions)
     unit_areas = {name: architecture.library.area_of(name)
                   for name in names}
+    # Objectives are stateless singletons: the *name* crosses the
+    # process boundary and resolves to this process's instance.
+    objective = as_objective(objective_name)
     _WORKER_SCAN_CONTEXT = (bsbs, architecture, area_quanta,
                             keep_history, session, unit_areas,
-                            names, ranges, primed)
+                            names, ranges, primed, objective, shared)
 
 
 def _scan_worker_chunk(spec):
     """Scan one contiguous chunk; ship the winner and accounting back."""
     (bsbs, architecture, area_quanta, keep_history, session, unit_areas,
-     names, ranges, primed) = _WORKER_SCAN_CONTEXT
+     names, ranges, primed, objective, shared) = _WORKER_SCAN_CONTEXT
     kind, payload = spec
     before = session.stats.snapshot()
     if kind == "prange":
@@ -718,7 +825,7 @@ def _scan_worker_chunk(spec):
         outcome = _scan_pruned_range(bsbs, architecture, area_quanta,
                                      keep_history, session, names,
                                      ranges, unit_areas, start, stop,
-                                     primed)
+                                     primed, objective, shared=shared)
     else:
         if kind == "range":
             start, stop = payload
@@ -729,7 +836,8 @@ def _scan_worker_chunk(spec):
             check_area = False
         outcome = _scan_candidates(candidates, bsbs, architecture,
                                    area_quanta, keep_history, session,
-                                   unit_areas, check_area=check_area) \
+                                   unit_areas, check_area=check_area,
+                                   objective=objective) \
             + (None,)
     # New cache entries ship back stable-encoded; the parent session —
     # the store's one writer — spills them in its final flush.

@@ -16,6 +16,7 @@ loop (man: constant generators -> 1; eigen: dividers - 1).
 
 from dataclasses import dataclass, field
 
+from repro.core.objective import as_objective
 from repro.core.rmap import RMap
 from repro.partition.evaluate import evaluate_allocation
 
@@ -57,7 +58,8 @@ class IterationResult:
 
 
 def design_iteration(bsbs, allocation, architecture, max_steps=None,
-                     area_quanta=400, session=None, overhead_model=None):
+                     area_quanta=400, session=None, overhead_model=None,
+                     objective=None):
     """Run the reduce-only design-iteration loop.
 
     Args:
@@ -75,11 +77,18 @@ def design_iteration(bsbs, allocation, architecture, max_steps=None,
             makes all rounds after the first nearly free.
         overhead_model: Optional interconnect/storage model, charged by
             every evaluation (the future-work extension's ablation).
+        objective: Optional objective (name or instance, see
+            :mod:`repro.core.objective`) deciding what "improves" means;
+            a decrement is accepted only when it strictly improves the
+            objective's primary axis.  The default is the paper's
+            speed-up — under it this loop is unchanged step for step.
     """
     if session is None:
         from repro.engine.session import Session
 
         session = Session(library=architecture.library)
+    objective = as_objective(objective)
+    library = architecture.library
     cache = session.cache
     allocation = RMap._coerce(allocation)
     current_eval = evaluate_allocation(bsbs, allocation, architecture,
@@ -97,9 +106,10 @@ def design_iteration(bsbs, allocation, architecture, max_steps=None,
                                              area_quanta=area_quanta,
                                              cache=cache,
                                              overhead_model=overhead_model)
-            if evaluation.speedup <= current_eval.speedup:
+            if not objective.improves(evaluation, current_eval, library):
                 continue
-            if best_eval is None or evaluation.speedup > best_eval.speedup:
+            if best_eval is None or \
+                    objective.improves(evaluation, best_eval, library):
                 best_eval = evaluation
                 best_step = IterationStep(
                     resource=name,

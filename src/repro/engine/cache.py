@@ -150,13 +150,17 @@ class EvalCache:
             branch-and-bound exhaustive search; process-local (never
             persisted — bounds are cheap to recompute and admissibility
             is easier to audit without a disk round-trip).
+        energies: (bsb uids, library id, processor token) -> tuple of
+            per-BSB (software energy, hardware energy) pairs; process
+            -local like ``bounds`` (two multiplications per BSB to
+            rebuild) and deliberately outside the hit/miss accounting.
         stats: the :class:`CacheStats` counters.
     """
 
     __slots__ = ("sched", "ops", "capable", "sw_times", "costs",
                  "intervals", "furo", "urgency", "eca", "restrictions",
                  "tables", "partitions", "evals", "allocs", "sched_inputs",
-                 "cost_plans", "bounds", "stats", "_pins",
+                 "cost_plans", "bounds", "energies", "stats", "_pins",
                  "_processor_tokens", "_uid_keys")
 
     def __init__(self):
@@ -177,6 +181,7 @@ class EvalCache:
         self.sched_inputs = {}
         self.cost_plans = {}
         self.bounds = {}
+        self.energies = {}
         self.stats = CacheStats()
         self._pins = {}
         self._processor_tokens = {}
@@ -211,6 +216,7 @@ class EvalCache:
         token = self._processor_tokens.get(id(processor))
         if token is None:
             token = (processor.name, processor.sequential_overhead,
+                     processor.energy_per_cycle,
                      tuple(sorted((optype.value, cycles) for optype, cycles
                                   in processor.cycle_table.items())))
             self._pins[id(processor)] = processor
@@ -234,8 +240,8 @@ class EvalCache:
         for name in ("sched", "ops", "capable", "sw_times", "costs",
                      "intervals", "furo", "urgency", "eca", "restrictions",
                      "tables", "partitions", "evals", "allocs",
-                     "sched_inputs", "cost_plans", "bounds", "_pins",
-                     "_processor_tokens", "_uid_keys"):
+                     "sched_inputs", "cost_plans", "bounds", "energies",
+                     "_pins", "_processor_tokens", "_uid_keys"):
             getattr(self, name).clear()
         self.stats = CacheStats()
 

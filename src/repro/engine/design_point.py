@@ -95,6 +95,9 @@ class PointResult:
             (``None`` for a failed point).
         speedup: PACE speed-up percentage of that allocation.
         datapath_area: Data-path area the allocation consumes.
+        energy: Modelled energy of the partitioned execution (see
+            :func:`~repro.partition.model.partition_energy`); 0.0 for
+            a failed point.
         hw_names: BSBs the partition moved to hardware.
         evaluation: The full
             :class:`~repro.partition.evaluate.AllocationEvaluation`.
@@ -108,6 +111,7 @@ class PointResult:
     allocation: object
     speedup: float
     datapath_area: float
+    energy: float = 0.0
     hw_names: tuple = field(default_factory=tuple)
     evaluation: object = None
     error: object = None

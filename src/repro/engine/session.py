@@ -246,7 +246,7 @@ class Session:
                                    overhead_model=overhead_model)
 
     def iterate(self, bsbs, allocation, architecture, max_steps=None,
-                area_quanta=400, overhead_model=None):
+                area_quanta=400, overhead_model=None, objective=None):
         """The reduce-only design iteration, on this session's cache."""
         from repro.core.iteration import design_iteration
 
@@ -254,11 +254,13 @@ class Session:
         return design_iteration(bsbs, allocation, architecture,
                                 max_steps=max_steps,
                                 area_quanta=area_quanta, session=self,
-                                overhead_model=overhead_model)
+                                overhead_model=overhead_model,
+                                objective=objective)
 
     def exhaustive(self, bsbs, architecture, restrictions=None,
                    max_evaluations=None, area_quanta=200,
-                   keep_history=False, workers=1, search="brute"):
+                   keep_history=False, workers=1, search="brute",
+                   objective="speedup"):
         """The exhaustive allocation search, on this session's cache.
 
         ``workers`` > 1 fans the candidate stream out over processes
@@ -267,6 +269,9 @@ class Session:
         per-worker cache accounting is merged into ``self.stats``.
         ``search="pruned"`` walks the space branch-and-bound style —
         same winner, far fewer evaluations on prunable spaces.
+        ``objective`` selects the tournament ranking candidates (see
+        :mod:`repro.core.objective`); the default reproduces the
+        paper's speed-up contract bit for bit.
         """
         from repro.core.exhaustive import exhaustive_best_allocation
 
@@ -275,7 +280,7 @@ class Session:
             bsbs, architecture, restrictions=restrictions,
             max_evaluations=max_evaluations, area_quanta=area_quanta,
             keep_history=keep_history, session=self, workers=workers,
-            search=search)
+            search=search, objective=objective)
 
     def evaluation_scan(self, bsbs, architecture, area_quanta=400,
                         remember=False):
@@ -310,6 +315,7 @@ class Session:
             allocation=evaluation.allocation,
             speedup=evaluation.speedup,
             datapath_area=evaluation.datapath_area,
+            energy=evaluation.energy,
             hw_names=tuple(evaluation.partition.hw_names),
             evaluation=evaluation,
         )

@@ -57,7 +57,10 @@ from repro.errors import StoreIntegrityError
 
 #: Bumped whenever fingerprinting or shard layout changes shape; shards
 #: written by other versions are ignored (and replaced on flush).
-STORE_VERSION = 1
+#: v2: evaluations grew an ``energy`` field and the fingerprints cover
+#: the energy-model knobs (per-resource energy, per-gate-cycle and
+#: per-processor-cycle energies).
+STORE_VERSION = 2
 
 #: Stage name -> key schema.  Slot codes: "uid" (one BSB uid), "uids"
 #: (tuple of BSB uids), "pin" (id() of a pinned library/technology/
@@ -112,7 +115,8 @@ def technology_fingerprint(technology):
     """Content hash of a :class:`~repro.hwlib.technology.Technology`."""
     return _digest(("technology", technology.name,
                     technology.register_area, technology.and_gate_area,
-                    technology.or_gate_area, technology.inverter_area))
+                    technology.or_gate_area, technology.inverter_area,
+                    technology.energy_per_gate_cycle))
 
 
 def library_fingerprint(library):
@@ -120,7 +124,7 @@ def library_fingerprint(library):
     reads from it (resources, designated units, technology)."""
     resources = tuple(
         (resource.name, tuple(sorted(op.value for op in resource.optypes)),
-         resource.area, resource.latency)
+         resource.area, resource.latency, resource.energy)
         for resource in library.resources())
     defaults = tuple(sorted(
         (optype.value, library.resource_for(optype).name)
@@ -211,6 +215,12 @@ class CacheStore:
         # Stage -> {stable key: value} absorbed from worker deltas;
         # written out (then dropped) by the next flush.
         self._absorbed = {}
+        # Engine label -> [raw bytes, compressed bytes, frames] of
+        # store deltas absorbed from remote engines since the last
+        # flush; merged into a persisted meta file (the LRU-stamp
+        # pattern) so ``cache info`` can report compression stats for
+        # a store no service is currently holding open.
+        self._delta_stats_pending = {}
         # Compiled programs: fingerprint -> neutral document.  New
         # (this-process) entries accumulate in _programs_new — add-only,
         # so clean/export counts work the same suffix trick the stage
@@ -764,6 +774,8 @@ class CacheStore:
 
     def _needs_flush(self, cache):
         """True when a stage grew or a worker delta awaits writing."""
+        if self._delta_stats_pending:
+            return True
         if any(self._absorbed.get(stage)
                for stage in PERSISTED_STAGES):
             return True
@@ -848,6 +860,8 @@ class CacheStore:
             fresh[PROGRAMS_STAGE] = set(alive)
             self._programs_clean_count = len(self._programs_new)
             self._programs_disk = None  # merged view changed on disk
+        if self._delta_stats_pending:
+            self._write_delta_stats_locked()
         self._stamp_entries(fresh)
         return written
 
@@ -865,6 +879,82 @@ class CacheStore:
                 return None
             cost_keys.append(stable_key)
         return (tuple(cost_keys), comm, available, quanta)
+
+    # ------------------------------------------------------------------
+    # Store-delta compression stats (the fabric's absorb accounting)
+    # ------------------------------------------------------------------
+    def _delta_stats_path(self):
+        return os.path.join(self.root, "deltas.v%d.meta" % STORE_VERSION)
+
+    def record_delta_stats(self, engine, raw_bytes, compressed_bytes,
+                           frames=1):
+        """Account one absorbed store-delta frame against ``engine``.
+
+        ``raw_bytes`` is the decompressed pickle payload, the bytes the
+        coordinator would have received without wire compression;
+        ``compressed_bytes`` is what actually travelled.  Buffered in
+        memory and merged into the on-disk meta file at the next flush.
+        """
+        entry = self._delta_stats_pending.setdefault(
+            str(engine), [0, 0, 0])
+        entry[0] += int(raw_bytes)
+        entry[1] += int(compressed_bytes)
+        entry[2] += int(frames)
+
+    def _load_delta_stats(self):
+        """{engine: [raw, compressed, frames]} from disk; {} on damage."""
+        try:
+            with open(self._delta_stats_path(), "rb") as handle:
+                data = pickle.load(handle)
+        except Exception:
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def _write_delta_stats_locked(self):
+        """Merge pending stats into the meta file; caller holds the
+        flush lock (read-merge-replace, like the LRU stamps)."""
+        merged = self._load_delta_stats()
+        for engine, (raw, compressed, frames) in \
+                self._delta_stats_pending.items():
+            entry = merged.setdefault(engine, [0, 0, 0])
+            entry[0] += raw
+            entry[1] += compressed
+            entry[2] += frames
+        self._delta_stats_pending = {}
+        os.makedirs(self.root, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".deltas.", suffix=".tmp", dir=self.root)
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(merged, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, self._delta_stats_path())
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def delta_stats(self):
+        """Per-engine store-delta compression stats, disk plus pending.
+
+        Returns ``{engine: {"raw_bytes", "compressed_bytes",
+        "frames"}}`` — empty for a store no fabric coordinator ever
+        absorbed remote deltas into.
+        """
+        merged = {engine: list(entry) for engine, entry
+                  in self._load_delta_stats().items()}
+        for engine, (raw, compressed, frames) in \
+                self._delta_stats_pending.items():
+            entry = merged.setdefault(engine, [0, 0, 0])
+            entry[0] += raw
+            entry[1] += compressed
+            entry[2] += frames
+        return {engine: {"raw_bytes": entry[0],
+                         "compressed_bytes": entry[1],
+                         "frames": entry[2]}
+                for engine, entry in sorted(merged.items())}
 
     # ------------------------------------------------------------------
     # LRU stamps: when was each shard entry last written or replayed
@@ -1069,6 +1159,11 @@ class CacheStore:
             os.unlink(self._lru_path())  # stamps of nothing
         except OSError:
             pass
+        try:
+            os.unlink(self._delta_stats_path())  # stats of nothing
+        except OSError:
+            pass
+        self._delta_stats_pending = {}
         self._stable.clear()
         self._clean_counts.clear()
         self._absorbed.clear()

@@ -47,9 +47,10 @@ class ResourceLibrary:
             self._defaults.setdefault(optype, resource.name)
         return resource
 
-    def add_single(self, name, optype, area, latency=1):
+    def add_single(self, name, optype, area, latency=1, energy=None):
         """Register a single-function resource."""
-        return self.add(single_function(name, optype, area, latency=latency))
+        return self.add(single_function(name, optype, area,
+                                        latency=latency, energy=energy))
 
     def set_default(self, optype, resource_name):
         """Make ``resource_name`` the designated unit for ``optype``."""
@@ -108,6 +109,22 @@ class ResourceLibrary:
     def area_of(self, resource_name):
         """Area of one instance of the named resource."""
         return self.get(resource_name).area
+
+    def energy_of(self, resource_name):
+        """Energy per executed operation on the named resource.
+
+        Resources without an explicit :attr:`Resource.energy` rating
+        are priced by the technology's area-proportional default —
+        ``area * latency * energy_per_gate_cycle`` — so a multiplier or
+        divider in hardware costs visibly *more* energy per operation
+        than its software emulation, which is what makes the energy
+        objective trade against speed-up instead of shadowing it.
+        """
+        resource = self.get(resource_name)
+        if resource.energy is not None:
+            return resource.energy
+        return (resource.area * resource.latency
+                * self.technology.energy_per_gate_cycle)
 
     def optypes_covered(self):
         """All operation types executable by some resource."""

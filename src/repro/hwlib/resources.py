@@ -20,12 +20,17 @@ class Resource:
             exercised by the module-selection ablation.
         area: Data-path area of one instance, in gate equivalents.
         latency: Execution latency in control steps (>= 1).
+        energy: Optional energy per executed operation (arbitrary
+            energy units).  ``None`` defers to the technology's
+            area-proportional default (see
+            :meth:`~repro.hwlib.library.ResourceLibrary.energy_of`).
     """
 
     name: str
     optypes: frozenset = field(default_factory=frozenset)
     area: float = 1.0
     latency: int = 1
+    energy: float = None
 
     def __post_init__(self):
         if not self.name:
@@ -44,6 +49,9 @@ class Resource:
         if self.latency < 1:
             raise ResourceError("resource %r has latency %r < 1"
                                 % (self.name, self.latency))
+        if self.energy is not None and self.energy < 0:
+            raise ResourceError("resource %r has negative energy %r"
+                                % (self.name, self.energy))
 
     def executes(self, optype):
         """True if this resource can execute operations of ``optype``."""
@@ -55,7 +63,7 @@ class Resource:
             self.name, self.area, self.latency, ops)
 
 
-def single_function(name, optype, area, latency=1):
+def single_function(name, optype, area, latency=1, energy=None):
     """Create a resource that executes exactly one operation type."""
     return Resource(name=name, optypes=frozenset({optype}),
-                    area=area, latency=latency)
+                    area=area, latency=latency, energy=energy)

@@ -28,6 +28,11 @@ class Technology:
         and_gate_area: Area of a 2-input and-gate (A_AG).
         or_gate_area: Area of a 2-input or-gate (A_OG).
         inverter_area: Area of an inverter (A_IG).
+        energy_per_gate_cycle: Energy one gate equivalent dissipates
+            over one active control step (arbitrary energy units).  A
+            resource without an explicit energy rating is priced as
+            ``area * latency * energy_per_gate_cycle`` per executed
+            operation — bigger and slower units burn more.
     """
 
     name: str = "generic-ge"
@@ -35,11 +40,13 @@ class Technology:
     and_gate_area: float = 8.0
     or_gate_area: float = 8.0
     inverter_area: float = 4.0
+    energy_per_gate_cycle: float = 0.01
 
     def validate(self):
         """Raise ``ValueError`` if any gate area is non-positive."""
         for attr in ("register_area", "and_gate_area",
-                     "or_gate_area", "inverter_area"):
+                     "or_gate_area", "inverter_area",
+                     "energy_per_gate_cycle"):
             if getattr(self, attr) <= 0:
                 raise ValueError("%s must be positive, got %r"
                                  % (attr, getattr(self, attr)))

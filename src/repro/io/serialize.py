@@ -74,6 +74,7 @@ def evaluation_to_dict(evaluation):
         "overhead_area": evaluation.overhead_area,
         "available_controller_area":
             evaluation.available_controller_area,
+        "energy": evaluation.energy,
         "speedup": partition.speedup,
         "sw_time_all": partition.sw_time_all,
         "hybrid_time": partition.hybrid_time,
@@ -84,13 +85,68 @@ def evaluation_to_dict(evaluation):
     }
 
 
+def evaluation_from_dict(data, library=None):
+    """Deserialise an evaluation document back into live objects.
+
+    The flattened PACE fields are folded back into a
+    :class:`~repro.partition.pace.PartitionResult` (its
+    ``available_area`` is the evaluation's controller budget — the
+    same number the evaluator handed PACE).  Raises
+    :class:`ReproError` on wrong kinds, versions or malformed numbers.
+    """
+    from repro.partition.evaluate import AllocationEvaluation
+    from repro.partition.pace import PartitionResult
+
+    if not isinstance(data, dict) or data.get("kind") != "evaluation":
+        raise ReproError("not an evaluation document: %r" % (data,))
+    if data.get("version") != FORMAT_VERSION:
+        raise ReproError("unsupported evaluation format version %r"
+                         % (data.get("version"),))
+    sequences = data.get("hw_sequences", [])
+    if not isinstance(sequences, (list, tuple)):
+        raise ReproError("evaluation hw_sequences must be a list")
+    try:
+        partition = PartitionResult(
+            hw_sequences=[(int(pair[0]), int(pair[1]))
+                          for pair in sequences],
+            hw_names=[str(name) for name in data.get("hw_bsbs", [])],
+            sw_time_all=float(data.get("sw_time_all", 0.0)),
+            hybrid_time=float(data.get("hybrid_time", 0.0)),
+            speedup=float(data.get("speedup", 0.0)),
+            controller_area_used=float(
+                data.get("controller_area_used", 0.0)),
+            available_area=float(
+                data.get("available_controller_area", 0.0)),
+            hw_fraction=float(data.get("hw_fraction", 0.0)))
+        return AllocationEvaluation(
+            allocation=allocation_from_dict(data.get("allocation"),
+                                            library=library),
+            datapath_area=float(data.get("datapath_area", 0.0)),
+            available_controller_area=float(
+                data.get("available_controller_area", 0.0)),
+            partition=partition,
+            overhead_area=float(data.get("overhead_area", 0.0)),
+            energy=float(data.get("energy", 0.0)))
+    except (TypeError, ValueError, IndexError) as exc:
+        raise ReproError("malformed evaluation: %s" % (exc,)) from None
+
+
 def exhaustive_result_to_dict(result):
     """Serialise an :class:`~repro.core.exhaustive.ExhaustiveResult`.
 
     The history is deliberately dropped (it can be candidate-count
     sized); the embedded best evaluation uses the same layout as
-    :func:`evaluation_to_dict`.
+    :func:`evaluation_to_dict`, and a Pareto front — when the search
+    collected one — travels as its insertion-ordered (vector,
+    evaluation) pairs so a round trip preserves dominance *and* the
+    scan-order tie-breaks.
     """
+    front = None
+    if result.front is not None:
+        front = [{"vector": list(vector),
+                  "evaluation": (None if payload is None
+                                 else evaluation_to_dict(payload))}
+                 for vector, payload in result.front.items()]
     return {
         "kind": "exhaustive-result",
         "version": FORMAT_VERSION,
@@ -105,7 +161,63 @@ def exhaustive_result_to_dict(result):
         "subtrees_pruned": result.subtrees_pruned,
         "bound_evaluations": result.bound_evaluations,
         "pruned_leaves": result.pruned_leaves,
+        "objective": result.objective,
+        "front": front,
     }
+
+
+def exhaustive_result_from_dict(data, library=None):
+    """Deserialise an exhaustive-result document.
+
+    The history is gone by design (the writer drops it); everything
+    else — search mode, prune counters, objective name, and the Pareto
+    front when one was collected — comes back as live objects.
+    """
+    from repro.core.exhaustive import ExhaustiveResult
+    from repro.core.objective import ParetoFront
+
+    if not isinstance(data, dict) \
+            or data.get("kind") != "exhaustive-result":
+        raise ReproError("not an exhaustive-result document: %r"
+                         % (data,))
+    if data.get("version") != FORMAT_VERSION:
+        raise ReproError("unsupported exhaustive-result format "
+                         "version %r" % (data.get("version"),))
+    front_doc = data.get("front")
+    front = None
+    if front_doc is not None:
+        if not isinstance(front_doc, (list, tuple)):
+            raise ReproError("exhaustive-result front must be a list")
+        front = ParetoFront()
+        for entry in front_doc:
+            if not isinstance(entry, dict):
+                raise ReproError("front entries must be mappings")
+            payload = entry.get("evaluation")
+            front.add(tuple(float(value)
+                            for value in entry.get("vector", ())),
+                      None if payload is None
+                      else evaluation_from_dict(payload,
+                                                library=library))
+    try:
+        return ExhaustiveResult(
+            best_allocation=allocation_from_dict(
+                data.get("best_allocation"), library=library),
+            best_evaluation=evaluation_from_dict(
+                data.get("best_evaluation"), library=library),
+            evaluations=int(data.get("evaluations", 0)),
+            space=int(data.get("space", 0)),
+            sampled=bool(data.get("sampled", False)),
+            skipped_infeasible=int(data.get("skipped_infeasible", 0)),
+            search=str(data.get("search", "brute")),
+            history_order=str(data.get("history_order", "scan")),
+            subtrees_pruned=int(data.get("subtrees_pruned", 0)),
+            bound_evaluations=int(data.get("bound_evaluations", 0)),
+            pruned_leaves=int(data.get("pruned_leaves", 0)),
+            objective=str(data.get("objective", "speedup")),
+            front=front)
+    except (TypeError, ValueError) as exc:
+        raise ReproError("malformed exhaustive result: %s"
+                         % (exc,)) from None
 
 
 def design_point_to_dict(point):
@@ -166,6 +278,7 @@ def point_result_to_dict(result):
                        else allocation_to_dict(result.allocation)),
         "speedup": result.speedup,
         "datapath_area": result.datapath_area,
+        "energy": result.energy,
         "hw_bsbs": list(result.hw_names),
         "error": (None if error is None
                   else {"kind": error.kind, "message": error.message}),
@@ -196,6 +309,7 @@ def point_result_from_dict(data, library=None):
                         allocation_from_dict(allocation, library=library)),
             speedup=float(data.get("speedup", 0.0)),
             datapath_area=float(data.get("datapath_area", 0.0)),
+            energy=float(data.get("energy", 0.0)),
             hw_names=tuple(str(name) for name in hw_bsbs),
             error=error)
     except (TypeError, ValueError) as exc:

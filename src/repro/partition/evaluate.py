@@ -25,6 +25,8 @@ from repro.partition.model import (
     _compute_bsb_cost,
     _cost_plan,
     bsb_costs,
+    bsb_energy_pairs,
+    partition_energy,
 )
 from repro.partition.pace import SequenceTable, pace_partition, \
     PartitionResult
@@ -41,6 +43,10 @@ class AllocationEvaluation:
         partition: The :class:`PartitionResult` PACE produced.
         overhead_area: Interconnect/storage estimate charged (zero
             unless an overhead model was supplied).
+        energy: Total energy of the partitioned implementation — each
+            moved BSB priced at its hardware energy, every other at
+            its software energy (see
+            :func:`~repro.partition.model.partition_energy`).
         datapath_fraction: Data-path share of the ASIC area actually
             used (data-path + controllers), the paper's "Size" column.
     """
@@ -50,6 +56,7 @@ class AllocationEvaluation:
     available_controller_area: float
     partition: PartitionResult
     overhead_area: float = 0.0
+    energy: float = 0.0
 
     @property
     def speedup(self):
@@ -182,6 +189,9 @@ def evaluate_allocation(bsbs, allocation, architecture, area_quanta=400,
         available_controller_area=available,
         partition=partition,
         overhead_area=overhead_area,
+        energy=partition_energy(
+            bsb_energy_pairs(bsbs, architecture, cache=cache),
+            partition.hw_sequences),
     )
     if engine_cache is not None and remember is True:
         engine_cache.evals[key] = evaluation
@@ -309,6 +319,9 @@ class EvaluationScan:
             datapath_area=datapath_area,
             available_controller_area=available,
             partition=partition,
+            energy=partition_energy(
+                bsb_energy_pairs(self._bsbs, architecture, cache=cache),
+                partition.hw_sequences),
         )
         if self._remember is True:
             cache.evals[key] = evaluation

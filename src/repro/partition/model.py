@@ -4,7 +4,7 @@ from dataclasses import dataclass, field
 
 from repro.core.eca import controller_area_for_states
 from repro.engine.cache import EvalCache
-from repro.errors import PartitionError
+from repro.errors import PartitionError, ResourceError
 from repro.hwlib.library import ResourceLibrary
 from repro.sched.list_scheduler import list_schedule
 from repro.swmodel.estimator import bsb_software_time
@@ -276,6 +276,70 @@ def _software_time(bsb, processor, cache=None):
             cache.sw_times[key] = bsb_software_time(bsb, processor)
         return cache.sw_times[key]
     return bsb_software_time(bsb, processor)
+
+
+def _bsb_energy_pair(bsb, architecture, cache=None):
+    """(software, hardware) energy of one BSB over the whole run.
+
+    The software side prices the serial cycle count at the processor's
+    per-cycle energy; the hardware side prices every operation at its
+    *designated* unit's per-operation energy (module-selection mixes
+    are deliberately priced at the designated unit too — the energy
+    model is a partition-level estimate, not a binding).  Both sides
+    are allocation-independent, so one pair per BSB covers the whole
+    search space.  The hardware side is ``None`` when the library has
+    no designated unit for some operation type — such a BSB can never
+    move to hardware anyway.
+    """
+    processor = architecture.processor
+    sw_energy = (_software_time(bsb, processor, cache=cache)
+                 * processor.energy_per_cycle)
+    library = architecture.library
+    try:
+        ops = _ops_per_resource(bsb, library, cache=cache)
+    except ResourceError:
+        return (sw_energy, None)
+    hw_energy = bsb.profile_count * sum(
+        op_count * library.energy_of(name) for name, op_count in ops)
+    return (sw_energy, hw_energy)
+
+
+def bsb_energy_pairs(bsbs, architecture, cache=None):
+    """Per-BSB (software, hardware) energy pairs, in array order.
+
+    Memoised per (BSB array, library, processor) in the cache's
+    ``energies`` stage — outside the hit/miss accounting, like the
+    branch-and-bound ``bounds`` stage, because the pairs are trivially
+    cheap and charging lookups would shift every reported hit rate.
+    """
+    if isinstance(cache, EvalCache):
+        key = (cache.uid_key(bsbs), cache.pin(architecture.library),
+               cache.processor_token(architecture.processor))
+        pairs = cache.energies.get(key)
+        if pairs is None:
+            pairs = tuple(_bsb_energy_pair(bsb, architecture, cache=cache)
+                          for bsb in bsbs)
+            cache.energies[key] = pairs
+        return pairs
+    return tuple(_bsb_energy_pair(bsb, architecture, cache=cache)
+                 for bsb in bsbs)
+
+
+def partition_energy(pairs, hw_sequences):
+    """Total energy of one partition over per-BSB energy ``pairs``.
+
+    Every BSB inside an inclusive ``(first, last)`` hardware sequence
+    contributes its hardware energy; every other BSB its software
+    energy.  A plain sum over the array, so the total is non-negative
+    and additive over any grouping of the BSBs by construction.
+    """
+    in_hardware = set()
+    for first, last in hw_sequences:
+        in_hardware.update(range(first, last + 1))
+    total = 0.0
+    for index, (sw_energy, hw_energy) in enumerate(pairs):
+        total += hw_energy if index in in_hardware else sw_energy
+    return total
 
 
 def _compute_bsb_cost(bsb, allocation, architecture, cache):

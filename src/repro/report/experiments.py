@@ -50,6 +50,11 @@ class Table1Row:
     best (the paper's eigen footnote).  ``search`` records the search
     that actually ran ("brute", "pruned" or "sampled"), and the two
     pruning counters are non-zero only for branch-and-bound rows.
+    ``objective`` names the tournament the best was ranked under;
+    ``best_energy`` is the winning evaluation's modelled energy, and
+    ``front`` carries the exhaustive search's
+    :class:`~repro.core.objective.ParetoFront` for the ``pareto``
+    objective (``None`` otherwise).
     """
 
     name: str
@@ -70,11 +75,14 @@ class Table1Row:
     search: str = "brute"
     subtrees_pruned: int = 0
     bound_evaluations: int = 0
+    objective: str = "speedup"
+    best_energy: float = 0.0
+    front: object = None
 
 
 def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
                max_evaluations=None, program=None, session=None,
-               workers=1, search="brute"):
+               workers=1, search="brute", objective="speedup"):
     """Measure one Table 1 row for the named benchmark.
 
     All stages run through one engine
@@ -85,8 +93,13 @@ def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
     row is bit-identical either way); ``search="pruned"`` runs the
     branch-and-bound exhaustive search (also bit-identical, usually far
     fewer evaluations); a session opened with a ``cache_dir`` makes the
-    whole row restart-warm.
+    whole row restart-warm.  ``objective`` ranks the exhaustive best
+    (and the iteration's accepted steps) — the default reproduces the
+    paper's speed-up tournament byte-for-byte.
     """
+    from repro.core.objective import as_objective
+
+    objective = as_objective(objective)
     session = _resolve_session(session, library)
     library = session.library
     spec = application_spec(name)
@@ -100,21 +113,26 @@ def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
     evaluation = session.evaluate(program.bsbs, result.allocation,
                                   architecture, area_quanta=area_quanta)
     iterated = session.iterate(program.bsbs, result.allocation,
-                               architecture, area_quanta=area_quanta)
+                               architecture, area_quanta=area_quanta,
+                               objective=objective)
     budget = (spec.max_evaluations if max_evaluations is None
               else max_evaluations)
     best = session.exhaustive(program.bsbs, architecture,
                               max_evaluations=budget,
                               area_quanta=best_area_quanta,
-                              workers=workers, search=search)
+                              workers=workers, search=search,
+                              objective=objective)
     # The design-iteration endpoint is also a visited allocation; the
     # "best" reported is the better of the two (the paper's eigen best
     # likewise came from designer experiments, not pure enumeration).
-    best_su = best.best_evaluation.speedup
+    # ``improves`` compares the objective's primary axis — for the
+    # default objective that is the historical pure speed-up merge.
+    best_eval = best.best_evaluation
     best_allocation = best.best_allocation
-    if iterated.final_evaluation.speedup > best_su:
-        best_su = iterated.final_evaluation.speedup
+    if objective.improves(iterated.final_evaluation, best_eval, library):
+        best_eval = iterated.final_evaluation
         best_allocation = iterated.final_allocation
+    best_su = best_eval.speedup
 
     return Table1Row(
         name=name,
@@ -135,26 +153,32 @@ def table1_row(name, library=None, area_quanta=150, best_area_quanta=120,
         search=best.search,
         subtrees_pruned=best.subtrees_pruned,
         bound_evaluations=best.bound_evaluations,
+        objective=best.objective,
+        best_energy=best_eval.energy,
+        front=best.front,
     )
 
 
 def table1_rows(library=None, names=None, max_evaluations=None,
-                session=None, workers=1, cache_dir=None, search="brute"):
+                session=None, workers=1, cache_dir=None, search="brute",
+                objective="speedup"):
     """Measure all Table 1 rows (expensive: runs the exhaustive search).
 
     One session carries across the rows, so shared machinery (compiled
     programs, restriction analyses) is reused.  ``cache_dir`` (only
     honoured when no session is passed) opens that session over a
     persistent store, so a rerun replays the expensive stages from
-    disk; ``workers`` parallelises each row's exhaustive search and
-    ``search`` selects its mode ("brute" or "pruned" — same winner).
+    disk; ``workers`` parallelises each row's exhaustive search,
+    ``search`` selects its mode ("brute" or "pruned" — same winner)
+    and ``objective`` picks the ranking tournament.
     """
     names = list(names or application_names())
     if session is None and cache_dir is not None:
         session = Session(library=library, cache_dir=cache_dir)
     session = _resolve_session(session, library)
     rows = [table1_row(name, session=session, workers=workers,
-                       max_evaluations=max_evaluations, search=search)
+                       max_evaluations=max_evaluations, search=search,
+                       objective=objective)
             for name in names]
     session.save_store()
     return rows

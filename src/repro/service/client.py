@@ -194,7 +194,7 @@ class ServiceClient:
         """Server liveness + protocol/worker/queue info."""
         return self._request({"op": "ping"})
 
-    def submit(self, points, weight=1):
+    def submit(self, points, weight=1, objective=None):
         """Submit a batch; returns the job id.
 
         A queue-full rejection (the server's ``retry_after`` hint) is
@@ -202,6 +202,10 @@ class ServiceClient:
         runs out; :attr:`last_submit_rejections` counts the
         rejections the final successful (or failed) submit absorbed.
         ``weight`` is the fair-scheduler share of this client's lane.
+        ``objective`` names the optimisation objective the job's
+        results are ranked by on the client side; it travels with the
+        job (visible in ``status``) but leaves per-point evaluation
+        untouched.
         """
         documents = [self._coerce_point(point) for point in points]
         request = {"op": "submit", "points": documents}
@@ -209,6 +213,8 @@ class ServiceClient:
             request["client"] = self.client_id
         if weight != 1:
             request["weight"] = weight
+        if objective is not None:
+            request["objective"] = objective
         self.last_submit_rejections = 0
         deadline = time.monotonic() + max(0.0, self.retry_budget)
         attempt = 0

@@ -113,6 +113,8 @@ class Engine:
         self.misses = 0
         self.deltas_absorbed = 0
         self.delta_entries = 0
+        self.delta_raw_bytes = 0
+        self.delta_compressed_bytes = 0
         self.last_seen = time.monotonic()
 
     def touch(self):
@@ -145,6 +147,8 @@ class Engine:
             "hit_rate": self.hit_rate(),
             "deltas_absorbed": self.deltas_absorbed,
             "delta_entries": self.delta_entries,
+            "delta_raw_bytes": self.delta_raw_bytes,
+            "delta_compressed_bytes": self.delta_compressed_bytes,
         }
 
     def __repr__(self):

@@ -156,6 +156,27 @@ def submission_points(request):
     return decoded
 
 
+def submission_objective(request):
+    """The validated objective name of a submit request.
+
+    Optional: defaults to ``"speedup"`` (the historical contract).
+    Anything else must be one of
+    :data:`~repro.core.objective.OBJECTIVE_NAMES` — a submission
+    naming a made-up objective is rejected whole, like any other
+    malformed field, before anything is queued.
+    """
+    from repro.core.objective import OBJECTIVE_NAMES
+
+    objective = request.get("objective", "speedup")
+    if objective is None:
+        objective = "speedup"
+    if not isinstance(objective, str) \
+            or objective not in OBJECTIVE_NAMES:
+        raise ProtocolError("'objective' must be one of %s"
+                            % ", ".join(OBJECTIVE_NAMES))
+    return objective
+
+
 def submission_meta(request):
     """The validated ``(client, weight)`` of a submit request.
 
@@ -322,9 +343,23 @@ def decode_store_delta(blob):
     handshake (behind auth) is the trust boundary, exactly as it is
     for the store's own shard files.
     """
+    delta, _, _ = decode_store_delta_sized(blob)
+    return delta
+
+
+def decode_store_delta_sized(blob):
+    """:func:`decode_store_delta` plus the frame's transport sizes.
+
+    Returns ``(delta, raw_bytes, compressed_bytes)`` where
+    ``compressed_bytes`` is what actually crossed the wire (the
+    base64-decoded zlib stream) and ``raw_bytes`` is the decompressed
+    pickle it stands for — the pair the coordinator's compression
+    accounting reports per engine.
+    """
     try:
-        packed = zlib.decompress(base64.b64decode(
-            blob.encode("ascii"), validate=True))
+        compressed = base64.b64decode(blob.encode("ascii"),
+                                      validate=True)
+        packed = zlib.decompress(compressed)
         delta = pickle.loads(packed)
     except Exception:
         raise ProtocolError("undecodable store delta") from None
@@ -333,7 +368,7 @@ def decode_store_delta(blob):
             for stage, entries in delta.items()):
         raise ProtocolError("store delta must map stage names to "
                             "entry mappings")
-    return delta
+    return delta, len(packed), len(compressed)
 
 
 def store_delta_frames(delta, budget=DELTA_FRAME_BYTES):

@@ -81,7 +81,8 @@ class QueueFullError(ReproError):
 class Job:
     """One submitted batch and everything known about its progress."""
 
-    def __init__(self, job_id, points, client="", weight=1):
+    def __init__(self, job_id, points, client="", weight=1,
+                 objective="speedup"):
         self.id = job_id
         self.points = list(points)
         self.states = [PENDING] * len(self.points)
@@ -92,6 +93,7 @@ class Job:
         self.condition = asyncio.Condition()
         self.client = client or ""
         self.weight = max(1, int(weight))
+        self.objective = objective or "speedup"
         self.finished_at = None    # monotonic stamp of the terminal edge
         self._on_terminal = None   # JobQueue depth accounting hook
 
@@ -139,6 +141,7 @@ class Job:
             "hits": hits,
             "misses": misses,
             "hit_rate": (hits / lookups) if lookups else 0.0,
+            "objective": self.objective,
         }
 
     def _note_terminal(self, count):
@@ -342,7 +345,8 @@ class JobQueue:
         self._tokens = asyncio.Queue()
         self._expired = collections.OrderedDict()
 
-    def submit(self, points, client="", weight=1):
+    def submit(self, points, client="", weight=1,
+               objective="speedup"):
         """Queue a batch; returns the new :class:`Job`.
 
         :class:`QueueFullError` when admitting the batch would push the
@@ -366,7 +370,7 @@ class JobQueue:
                     % (self.depth, len(points), self.max_pending),
                     self.retry_after)
         job = Job("job-%d" % next(self._counter), points,
-                  client=client, weight=weight)
+                  client=client, weight=weight, objective=objective)
         job._on_terminal = self._points_terminal
         self.depth += len(job.points)
         self.jobs[job.id] = job

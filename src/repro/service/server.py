@@ -515,15 +515,18 @@ class ExplorationService:
         elif op == "submit":
             points = protocol.submission_points(request)
             client, weight = protocol.submission_meta(request)
+            objective = protocol.submission_objective(request)
             try:
                 job = self.queue.submit(points, client=client,
-                                        weight=weight)
+                                        weight=weight,
+                                        objective=objective)
             except QueueFullError as exc:
                 writer.write(protocol.encode(protocol.error(
                     exc, retry_after=exc.retry_after)))
             else:
                 writer.write(protocol.encode(protocol.ok(
-                    job=job.id, total=len(job.points))))
+                    job=job.id, total=len(job.points),
+                    objective=job.objective)))
         elif op == "status":
             job = self.queue.get(protocol.job_name(request))
             writer.write(protocol.encode(protocol.ok(
@@ -588,9 +591,14 @@ class ExplorationService:
                                        timeout=wait)
         from repro.io.serialize import design_point_to_dict
 
+        # The objective travels with each leased unit: a point's
+        # evaluation is objective-independent (every metric is always
+        # computed), but a worker summarising or logging its lease can
+        # honour the submitting client's intent.
         writer.write(protocol.encode(protocol.ok(
             engine=engine.id,
             points=[{"job": unit.job.id, "index": unit.index,
+                     "objective": unit.job.objective,
                      "point": design_point_to_dict(
                          unit.job.points[unit.index])}
                     for unit in units])))
@@ -608,8 +616,11 @@ class ExplorationService:
         """
         engine = self._connection_engine(request, conn)
         entries, blob = protocol.delta_fields(request)
-        store_delta = None if blob is None \
-            else protocol.decode_store_delta(blob)
+        store_delta = None
+        delta_raw = delta_compressed = 0
+        if blob is not None:
+            store_delta, delta_raw, delta_compressed = \
+                protocol.decode_store_delta_sized(blob)
         from repro.io.serialize import point_result_from_dict
 
         decoded = []
@@ -636,6 +647,20 @@ class ExplorationService:
                 absorbed = 0  # bookkeeping must not discard results
         engine.deltas_absorbed += 1
         engine.delta_entries += absorbed
+        if blob is not None:
+            # Compression accounting: what crossed the wire vs the
+            # pickled payload it stood for, per engine — surfaced by
+            # ``ping``/``status`` rosters and ``cache info``, and
+            # persisted alongside the store's shards.
+            engine.delta_raw_bytes += delta_raw
+            engine.delta_compressed_bytes += delta_compressed
+            if self.session.store is not None:
+                try:
+                    await self._on_engine(
+                        self.session.store.record_delta_stats,
+                        engine.id, delta_raw, delta_compressed)
+                except Exception:
+                    pass  # accounting must not discard results
         recorded = 0
         stale = 0
         for job_id, index, result, stats_delta in decoded:

@@ -207,6 +207,11 @@ class EngineWorker:
         """Evaluate one lease and ship results + store deltas home."""
         entries = []
         for item in leased:
+            # Leased items carry the submission's objective; the
+            # per-point pipeline computes every metric regardless
+            # (speed-up, area, energy all ride the PointResult), so
+            # the worker's evaluation is objective-independent and the
+            # field is pass-through context only.
             point = design_point_from_dict(item["point"])
             before = self.session.stats.snapshot()
             result = self.session.evaluate_point_safe(point)

@@ -42,11 +42,15 @@ class Processor:
         cycle_table: Mapping :class:`OpType` -> cycles per execution.
         sequential_overhead: Cycles added per operation for fetch/decode
             and register traffic (models the serial instruction stream).
+        energy_per_cycle: Energy the core dissipates per executed cycle
+            (arbitrary energy units) — software operations are priced
+            as their cycle count times this knob.
     """
 
     name: str = "risc-core"
     cycle_table: dict = field(default_factory=_default_cycle_table)
     sequential_overhead: int = 2
+    energy_per_cycle: float = 0.5
 
     def cycles_for(self, optype):
         """Software cycles to execute one operation of ``optype``."""
@@ -65,6 +69,8 @@ class Processor:
                                  % (optype, cycles))
         if self.sequential_overhead < 0:
             raise ReproError("sequential overhead must be >= 0")
+        if self.energy_per_cycle <= 0:
+            raise ReproError("energy per cycle must be positive")
         return self
 
 

@@ -230,9 +230,15 @@ class TestFaultInjection:
                     raise ConnectionResetError("injected frame drop")
                 await super()._handle_delta(request, writer, conn)
 
+        # steal_delay=0 guarantees the casualty gets a unit no matter
+        # where rendezvous hashing lands the two programs: the local
+        # pump holds one point in flight while another waits on its
+        # lane, and an instantly-ripe lane unit is stolen by the idle
+        # worker on its first lease.  (Affinity alone is hash luck —
+        # any library change reshuffles the program fingerprints.)
         DropFirstDelta.dropped = 0
         harness = make_harness(service_class=DropFirstDelta,
-                               local_engines=1)
+                               local_engines=1, steal_delay=0.0)
         client = harness.client()
         job = client.submit(FABRIC_GRID)
         casualty = WorkerThread(harness, "casualty")

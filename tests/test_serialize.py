@@ -100,6 +100,77 @@ class TestResultSerialisation:
         json.dumps(data)  # the document must be JSON-clean
 
 
+class TestExhaustiveResultRoundtrip:
+    """Wire round-trips of the search metadata: the branch-and-bound
+    fields (search mode, history order, prune counters) and the
+    objective-layer fields (objective, energy, Pareto front)."""
+
+    @staticmethod
+    def _search(two_bsbs, library, **kwargs):
+        from repro.core.exhaustive import exhaustive_best_allocation
+
+        architecture = TargetArchitecture(library=library,
+                                          total_area=20000.0)
+        return exhaustive_best_allocation(two_bsbs, architecture,
+                                          area_quanta=100, **kwargs)
+
+    @staticmethod
+    def _wire_roundtrip(result, library):
+        import json
+
+        from repro.io.serialize import (exhaustive_result_from_dict,
+                                        exhaustive_result_to_dict)
+
+        wire = json.loads(json.dumps(
+            exhaustive_result_to_dict(result)))
+        return exhaustive_result_from_dict(wire, library=library)
+
+    def test_pruned_search_fields_roundtrip(self, library, two_bsbs):
+        result = self._search(two_bsbs, library, search="pruned")
+        again = self._wire_roundtrip(result, library)
+        assert again.search == result.search == "pruned"
+        assert again.history_order == result.history_order
+        assert again.subtrees_pruned == result.subtrees_pruned
+        assert again.bound_evaluations == result.bound_evaluations
+        assert again.pruned_leaves == result.pruned_leaves
+        assert again.best_allocation == result.best_allocation
+        assert again.best_evaluation.speedup == pytest.approx(
+            result.best_evaluation.speedup)
+
+    def test_objective_and_energy_roundtrip(self, library, two_bsbs):
+        result = self._search(two_bsbs, library, search="pruned",
+                              objective="energy")
+        again = self._wire_roundtrip(result, library)
+        assert again.objective == result.objective == "energy"
+        assert again.best_evaluation.energy == pytest.approx(
+            result.best_evaluation.energy)
+        assert again.front is None
+
+    def test_pareto_front_roundtrip(self, library, two_bsbs):
+        result = self._search(two_bsbs, library, objective="pareto")
+        assert result.front is not None and len(result.front)
+        again = self._wire_roundtrip(result, library)
+        assert again.objective == "pareto"
+        assert again.front is not None
+        assert len(again.front) == len(result.front)
+        for loaded_vector, original_vector in zip(
+                again.front.vectors(), result.front.vectors()):
+            assert loaded_vector == pytest.approx(original_vector)
+        # Payload evaluations survive the trip (speed-up and energy).
+        for (_, original), (_, loaded) in zip(result.front.items(),
+                                              again.front.items()):
+            assert loaded.speedup == pytest.approx(original.speedup)
+            assert loaded.energy == pytest.approx(original.energy)
+
+    def test_default_objective_fields_absent_history(self, library,
+                                                     two_bsbs):
+        result = self._search(two_bsbs, library)
+        again = self._wire_roundtrip(result, library)
+        assert again.objective == "speedup"
+        assert again.search == "brute"
+        assert again.front is None
+
+
 class TestFileRoundtrip:
     def test_save_and_load(self, tmp_path, library, two_bsbs):
         result = allocate(two_bsbs, library, area=20000.0)
