@@ -87,6 +87,41 @@ def _add_token_arguments(parser):
                              "(stripped of surrounding whitespace)")
 
 
+def _add_http_client_arguments(parser):
+    parser.add_argument("--http", default=None, metavar="URL",
+                        help="talk to the HTTP gateway at this URL "
+                             "(e.g. http://127.0.0.1:8421) instead of "
+                             "the TCP service; --host/--port/--token "
+                             "are then ignored")
+    parser.add_argument("--api-key", default=None,
+                        help="API key for a keyed HTTP gateway "
+                             "(prefer --api-key-file: argv is visible "
+                             "to other processes)")
+    parser.add_argument("--api-key-file", default=None,
+                        help="file holding the gateway API key "
+                             "(stripped of surrounding whitespace)")
+
+
+def _resolve_api_key(args):
+    """The API key of --api-key/--api-key-file, or None."""
+    if args.api_key is not None and args.api_key_file is not None:
+        raise SystemExit("pass --api-key or --api-key-file, not both")
+    if args.api_key_file is not None:
+        try:
+            with open(args.api_key_file, "r",
+                      encoding="utf-8") as handle:
+                key = handle.read().strip()
+        except OSError as exc:
+            raise SystemExit("cannot read --api-key-file: %s" % exc)
+        if not key:
+            raise SystemExit("--api-key-file %s is empty"
+                             % args.api_key_file)
+        return key
+    if args.api_key is not None and not args.api_key:
+        raise SystemExit("--api-key must not be empty")
+    return args.api_key
+
+
 def _resolve_token(args):
     """The shared token of --token/--token-file, or None."""
     if args.token is not None and args.token_file is not None:
@@ -321,6 +356,17 @@ def build_parser():
     serve.add_argument("--slots", type=int, default=None,
                        help="worker mode: points leased at once "
                             "(default: --workers)")
+    serve.add_argument("--http", type=int, default=None,
+                       metavar="PORT",
+                       help="also mount the REST/JSON gateway on this "
+                            "port (same host): POST/GET /v1/jobs with "
+                            "strong-ETag conditional caching")
+    serve.add_argument("--api-keys-file", default=None, metavar="PATH",
+                       help="JSON file mapping API key -> client id "
+                            "(or {client, weight, quota}); arms "
+                            "gateway auth, fair-scheduler identity "
+                            "and per-key in-flight quotas (required "
+                            "for --http beyond loopback)")
     _add_token_arguments(serve)
 
     submit = commands.add_parser(
@@ -355,6 +401,7 @@ def build_parser():
                              "(default: %(default)s)")
     _add_service_address(submit)
     _add_token_arguments(submit)
+    _add_http_client_arguments(submit)
 
     status = commands.add_parser(
         "status", help="poll a service job (or the service itself)")
@@ -363,18 +410,21 @@ def build_parser():
                              "lists every job")
     _add_service_address(status)
     _add_token_arguments(status)
+    _add_http_client_arguments(status)
 
     results = commands.add_parser(
         "results", help="stream a service job's per-point results")
     results.add_argument("--job", required=True, help="job id")
     _add_service_address(results)
     _add_token_arguments(results)
+    _add_http_client_arguments(results)
 
     cancel = commands.add_parser(
         "cancel", help="cancel a service job's pending points")
     cancel.add_argument("--job", required=True, help="job id")
     _add_service_address(cancel)
     _add_token_arguments(cancel)
+    _add_http_client_arguments(cancel)
     return parser
 
 
@@ -729,6 +779,20 @@ def cmd_serve(args):
         raise SystemExit("--engine-timeout must be > 0")
     if args.slots is not None and args.slots < 1:
         raise SystemExit("--slots must be >= 1")
+    if args.http is not None and not 0 < args.http < 65536:
+        raise SystemExit("--http must be a port number (1-65535)")
+    api_keys = None
+    if args.api_keys_file is not None:
+        if args.http is None:
+            raise SystemExit("--api-keys-file only makes sense with "
+                             "--http")
+        from repro.errors import ReproError
+        from repro.service.http import load_api_keys
+
+        try:
+            api_keys = load_api_keys(args.api_keys_file)
+        except ReproError as exc:
+            raise SystemExit(str(exc))
     token = _resolve_token(args)
     if args.join is not None:
         return _cmd_serve_join(args, token)
@@ -737,6 +801,12 @@ def cmd_serve(args):
                          "--token-file; an open service beyond "
                          "loopback hands the store to the network"
                          % args.host)
+    if args.http is not None and api_keys is None \
+            and args.host not in LOOPBACK_HOSTS:
+        raise SystemExit("refusing to mount the HTTP gateway on %s "
+                         "without --api-keys-file; an open gateway "
+                         "beyond loopback hands the queue to the "
+                         "network" % args.host)
     serve(cache_dir=args.cache_dir, workers=args.workers,
           host=args.host, port=args.port,
           flush_interval=args.flush_interval, token=token,
@@ -744,7 +814,8 @@ def cmd_serve(args):
           job_ttl=args.job_ttl, max_jobs=args.max_jobs,
           local_engines=args.local_engines,
           steal_delay=args.steal_delay,
-          engine_timeout=args.engine_timeout)
+          engine_timeout=args.engine_timeout,
+          http_port=args.http, api_keys=api_keys)
 
 
 def _cmd_serve_join(args, token):
@@ -801,6 +872,11 @@ def _print_job_status(status):
 
 
 def _service_client(args):
+    if getattr(args, "http", None) is not None:
+        from repro.service.http_client import HttpServiceClient
+
+        return HttpServiceClient(url=args.http,
+                                 api_key=_resolve_api_key(args))
     from repro.service.client import ServiceClient
 
     return ServiceClient(host=args.host, port=args.port,
@@ -814,7 +890,13 @@ def cmd_submit(args):
     points = _grid_points(args.apps, args.fractions, args.policies,
                           args.quanta)
     client = _service_client(args)
-    job = client.submit(points, weight=args.weight,
+    weight = args.weight
+    if getattr(args, "http", None) is not None and weight == 1:
+        # Over the keyed gateway the API key's configured weight is
+        # the default; the un-passed CLI default of 1 must not lower
+        # it.  An explicit --weight below the key's still does.
+        weight = None
+    job = client.submit(points, weight=weight,
                         objective=args.objective)
     if client.last_submit_rejections:
         print("admitted after %d queue-full rejection(s)"

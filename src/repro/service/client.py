@@ -19,6 +19,11 @@ every connection; a backpressure rejection (the server's structured
 unauthenticated link, an oversized line — surfaces as a typed
 :class:`ServiceError` carrying the server's last structured error
 message instead of an opaque ``ConnectionResetError``.
+
+The retry/backoff contract lives in :class:`RetryingClientMixin` so
+the HTTP client (:class:`~repro.service.http_client.HttpServiceClient`)
+shares the *same* helper — accounting, jitter envelope and budget math
+are defined once, here, for both transports.
 """
 
 import itertools
@@ -63,7 +68,89 @@ class ServiceError(ReproError):
         return float(value)
 
 
-class ServiceClient:
+def backoff_wait(hint, attempt, cap, jitter, rng):
+    """One backoff sleep: capped exponential, then jittered.
+
+    ``wait = min(cap, max(0.01, hint) * 2 ** attempt)`` is the capped
+    exponential step; jitter only ever *shortens* it, so ``cap`` and
+    any deadline math keep their meaning.  Exact envelope: the sleep is
+    ``wait * (1 - jitter * rng.random())`` with ``rng.random()``
+    uniform on ``[0, 1)``, so the sleep is uniform on
+    ``((1 - jitter) * wait, wait]`` — the *top* endpoint is attainable
+    (a draw of exactly 0.0 sleeps the full ``wait``), the bottom
+    endpoint ``(1 - jitter) * wait`` never is in real arithmetic
+    (float rounding at the maximal draw can touch it, nothing can
+    cross it).  ``jitter <= 0`` returns ``wait`` exactly (the old
+    deterministic schedule).
+
+    This is the one backoff helper of both service clients
+    (:class:`ServiceClient` and the HTTP client); fix it here, not in
+    a copy.
+    """
+    wait = min(cap, max(0.01, hint) * (2 ** attempt))
+    if jitter <= 0.0:
+        return wait
+    return wait * (1.0 - jitter * rng.random())
+
+
+class RetryingClientMixin:
+    """The retry/backoff contract the TCP and HTTP clients share.
+
+    A transport mixes this in, calls :meth:`_init_retry` from its
+    constructor, and funnels its submit through
+    :meth:`_submit_with_retries` with a zero-argument ``send`` that
+    performs one submission attempt and raises :class:`ServiceError`
+    on rejection.  Backpressure rejections (``retry_after`` set) are
+    retried with capped exponential jittered backoff until the budget
+    deadline; every rejection absorbed along the way — *including* the
+    final one a budget-exhausted submit gives up on — is counted in
+    :attr:`last_submit_rejections`.
+    """
+
+    def _init_retry(self, retry_budget, retry_cap, retry_jitter,
+                    retry_seed):
+        self.retry_budget = float(retry_budget)
+        self.retry_cap = float(retry_cap)
+        if not 0.0 <= float(retry_jitter) <= 1.0:
+            raise ReproError("retry_jitter must be in [0, 1], got %r"
+                             % (retry_jitter,))
+        self.retry_jitter = float(retry_jitter)
+        self._retry_rng = random.Random(retry_seed)
+        self.last_submit_rejections = 0
+
+    def _backoff_wait(self, hint, attempt):
+        """This client's :func:`backoff_wait` (see its envelope)."""
+        return backoff_wait(hint, attempt, self.retry_cap,
+                            self.retry_jitter, self._retry_rng)
+
+    def _submit_with_retries(self, send):
+        """Run ``send()`` under the shared backoff/accounting contract.
+
+        :attr:`last_submit_rejections` counts every backpressure
+        rejection this submit absorbed — the retried ones *and* the
+        final one re-raised when the next wait would overrun the
+        budget deadline, so the counter never under-reports the
+        server's pushback.
+        """
+        self.last_submit_rejections = 0
+        deadline = time.monotonic() + max(0.0, self.retry_budget)
+        attempt = 0
+        while True:
+            try:
+                return send()
+            except ServiceError as exc:
+                hint = exc.retry_after
+                if hint is None:
+                    raise  # not a backpressure rejection
+                self.last_submit_rejections += 1
+                wait = self._backoff_wait(hint, attempt)
+                if time.monotonic() + wait > deadline:
+                    raise
+                attempt += 1
+                time.sleep(wait)
+
+
+class ServiceClient(RetryingClientMixin):
     """Client for one service address.
 
     Attributes:
@@ -85,9 +172,11 @@ class ServiceClient:
             share the same hint and the same attempt count — without
             jitter they all sleep the *same* capped-exponential wait
             and stampede the server in lockstep, forever.  Each sleep
-            is drawn uniformly from ``((1 - jitter) * wait, wait]``, so
-            the cap still bounds it and jitter 0 restores the exact
-            old schedule.
+            is drawn uniformly from ``((1 - jitter) * wait, wait]``
+            (top endpoint attainable, bottom excluded — see
+            :func:`backoff_wait` for the exact envelope), so the cap
+            still bounds it and jitter 0 restores the exact old
+            schedule.
         retry_seed: Seed of the jitter's private ``random.Random`` —
             deterministic backoff schedules for tests; ``None`` (the
             default) seeds from the OS like any other Random.
@@ -103,14 +192,8 @@ class ServiceClient:
         self.token = token
         self.client_id = client_id if client_id is not None else \
             "client-%d-%d" % (os.getpid(), next(_CLIENT_IDS))
-        self.retry_budget = float(retry_budget)
-        self.retry_cap = float(retry_cap)
-        if not 0.0 <= float(retry_jitter) <= 1.0:
-            raise ReproError("retry_jitter must be in [0, 1], got %r"
-                             % (retry_jitter,))
-        self.retry_jitter = float(retry_jitter)
-        self._retry_rng = random.Random(retry_seed)
-        self.last_submit_rejections = 0
+        self._init_retry(retry_budget, retry_cap, retry_jitter,
+                         retry_seed)
 
     # ------------------------------------------------------------------
     # Transport
@@ -199,8 +282,9 @@ class ServiceClient:
 
         A queue-full rejection (the server's ``retry_after`` hint) is
         retried with capped exponential backoff until ``retry_budget``
-        runs out; :attr:`last_submit_rejections` counts the
-        rejections the final successful (or failed) submit absorbed.
+        runs out; :attr:`last_submit_rejections` counts *every*
+        rejection the final successful (or failed) submit absorbed,
+        including the one a budget-exhausted submit gives up on.
         ``weight`` is the fair-scheduler share of this client's lane.
         ``objective`` names the optimisation objective the job's
         results are ranked by on the client side; it travels with the
@@ -215,35 +299,8 @@ class ServiceClient:
             request["weight"] = weight
         if objective is not None:
             request["objective"] = objective
-        self.last_submit_rejections = 0
-        deadline = time.monotonic() + max(0.0, self.retry_budget)
-        attempt = 0
-        while True:
-            try:
-                return self._request(request)["job"]
-            except ServiceError as exc:
-                hint = exc.retry_after
-                if hint is None:
-                    raise  # not a backpressure rejection
-                wait = self._backoff_wait(hint, attempt)
-                if time.monotonic() + wait > deadline:
-                    raise
-                self.last_submit_rejections += 1
-                attempt += 1
-                time.sleep(wait)
-
-    def _backoff_wait(self, hint, attempt):
-        """One backoff sleep: capped exponential, then jittered.
-
-        The jitter only ever *shortens* the sleep (uniform in
-        ``((1 - jitter) * wait, wait]``), so ``retry_cap`` and the
-        ``retry_budget`` deadline math both keep their meaning.
-        """
-        wait = min(self.retry_cap, max(0.01, hint) * (2 ** attempt))
-        if self.retry_jitter <= 0.0:
-            return wait
-        return wait * (1.0 - self.retry_jitter
-                       * self._retry_rng.random())
+        return self._submit_with_retries(
+            lambda: self._request(request)["job"])
 
     def status(self, job_id):
         """The job's status document."""
@@ -269,10 +326,21 @@ class ServiceClient:
         yields ``(index, None)``.  The generator ends when the job
         reaches a terminal state; the closing status document is
         available afterwards as :attr:`last_status`.
+
+        A caller that abandons the stream mid-job (a ``break`` after
+        the first result, an explicit ``close()`` on the generator)
+        tears the connection down *eagerly* in the ``finally`` below —
+        ``GeneratorExit`` lands there like any other exit — instead of
+        leaving the socket to whenever the garbage collector finalises
+        the generator.  The server tolerates the early disconnect: its
+        handler treats a reset mid-stream as the client going away,
+        never as an error.
         """
         self.last_status = None
-        with self._connect() as sock:
-            with sock.makefile("rwb") as stream:
+        sock = self._connect()
+        try:
+            stream = sock.makefile("rwb")
+            try:
                 self._handshake(stream)
                 self._send(stream, {"op": "results", "job": job_id})
                 header = self._read_line(stream)
@@ -290,6 +358,13 @@ class ServiceClient:
                     else:
                         yield index, point_result_from_dict(
                             message["result"], library=library)
+            finally:
+                try:
+                    stream.close()
+                except OSError:
+                    pass  # flushing a dead link; the socket closes next
+        finally:
+            sock.close()
 
     def collect(self, job_id, library=None):
         """Block until terminal; results in submission order.

@@ -24,7 +24,12 @@ yet terminal across all jobs.  A submission that would exceed the cap
 raises :class:`QueueFullError` carrying a ``retry_after`` hint, which
 the server forwards as a structured rejection and the
 :class:`~repro.service.client.ServiceClient` honours with capped
-backoff.
+backoff.  On top of the global cap, a submission may carry a
+per-client ``quota`` (the HTTP gateway's API-key in-flight-point
+budget): the queue tracks in-flight points *per client label*, and a
+submission that would push its client past the quota is rejected with
+the same structured :class:`QueueFullError` — so one key's polling
+fleet cannot crowd out the rest even under the global cap.
 
 Job GC: ``job_ttl`` expires finished jobs (results and all) that age
 past the TTL, and ``max_finished`` bounds how many finished jobs are
@@ -43,6 +48,7 @@ of submission.
 
 import asyncio
 import collections
+import functools
 import heapq
 import itertools
 import time
@@ -341,19 +347,21 @@ class JobQueue:
         self.max_finished = max_finished
         self.jobs = {}
         self.depth = 0             # admitted, not-yet-terminal points
+        self.client_depth = {}     # client label -> in-flight points
         self._counter = itertools.count(1)
         self._tokens = asyncio.Queue()
         self._expired = collections.OrderedDict()
 
     def submit(self, points, client="", weight=1,
-               objective="speedup"):
+               objective="speedup", quota=None):
         """Queue a batch; returns the new :class:`Job`.
 
         :class:`QueueFullError` when admitting the batch would push the
-        in-flight point count past ``max_pending`` — nothing is queued
-        in that case, so a rejected client retries from a clean slate.
-        A batch larger than the cap itself can never be admitted, so
-        it is rejected *without* a retry hint (plain
+        in-flight point count past ``max_pending``, or this client's
+        in-flight count past its ``quota`` — nothing is queued in
+        either case, so a rejected client retries from a clean slate.
+        A batch larger than the cap (or the quota) itself can never be
+        admitted, so it is rejected *without* a retry hint (plain
         :class:`ReproError`) — retrying it would only burn the
         client's backoff budget.
         """
@@ -369,18 +377,40 @@ class JobQueue:
                     "submitted would exceed the %d-point cap"
                     % (self.depth, len(points), self.max_pending),
                     self.retry_after)
+        if quota is not None:
+            if len(points) > quota:
+                raise ReproError(
+                    "submission of %d points exceeds client %r's "
+                    "%d-point quota; it can never be admitted — split "
+                    "the batch" % (len(points), client, quota))
+            in_flight = self.client_depth.get(client, 0)
+            if in_flight + len(points) > quota:
+                raise QueueFullError(
+                    "quota exceeded: client %r has %d point(s) in "
+                    "flight plus %d submitted would exceed its "
+                    "%d-point quota" % (client, in_flight,
+                                        len(points), quota),
+                    self.retry_after)
         job = Job("job-%d" % next(self._counter), points,
                   client=client, weight=weight, objective=objective)
-        job._on_terminal = self._points_terminal
+        job._on_terminal = functools.partial(self._points_terminal,
+                                             job)
         self.depth += len(job.points)
+        self.client_depth[job.client] = \
+            self.client_depth.get(job.client, 0) + len(job.points)
         self.jobs[job.id] = job
         self.scheduler.add(job)
         for _ in range(len(job.points)):
             self._tokens.put_nowait(None)
         return job
 
-    def _points_terminal(self, count):
+    def _points_terminal(self, job, count):
         self.depth -= count
+        remaining = self.client_depth.get(job.client, 0) - count
+        if remaining > 0:
+            self.client_depth[job.client] = remaining
+        else:
+            self.client_depth.pop(job.client, None)
 
     def get(self, job_id):
         """The named job; :class:`ReproError` when unknown or expired."""

@@ -150,6 +150,9 @@ class ExplorationService:
         self.queue = None        # created in start() (needs the loop)
         self.roster = None
         self.address = None
+        # The serving loop, set by start(); the HTTP gateway's handler
+        # threads marshal every queue access through it.
+        self.loop = None
         self._server = None
         self._stopping = None
         self._tasks = []
@@ -171,6 +174,7 @@ class ExplorationService:
                               job_ttl=self.job_ttl,
                               max_finished=self.max_jobs)
         self.roster = EngineRoster(steal_delay=self.steal_delay)
+        self.loop = asyncio.get_running_loop()
         self._stopping = asyncio.Event()
         self._engine = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="lycos-engine")
@@ -719,7 +723,8 @@ def serve(cache_dir=None, workers=1, host=DEFAULT_HOST,
           announce=print, token=None, scheduler="fifo", queue_cap=None,
           job_ttl=None, max_jobs=None, local_engines=1,
           steal_delay=DEFAULT_STEAL_DELAY,
-          engine_timeout=DEFAULT_ENGINE_TIMEOUT):
+          engine_timeout=DEFAULT_ENGINE_TIMEOUT,
+          http_port=None, api_keys=None):
     """Blocking entry point: build the session, serve until shutdown.
 
     Runs until a ``shutdown`` request or ``KeyboardInterrupt``; either
@@ -729,6 +734,13 @@ def serve(cache_dir=None, workers=1, host=DEFAULT_HOST,
     would hand the store (and the engine) to the whole network.
     ``local_engines=0`` starts a pure coordinator: nothing evaluates
     until worker processes join (``serve --join``).
+
+    ``http_port`` additionally mounts the REST gateway of
+    :mod:`~repro.service.http` over the same queue, on the same host;
+    ``api_keys`` (``{key: ApiKey}``, see
+    :func:`~repro.service.http.load_api_keys`) arms its per-key auth,
+    scheduler identity and in-flight quotas — required beyond
+    loopback, like the TCP token.
     """
     if token is None and host not in LOOPBACK_HOSTS:
         raise ReproError(
@@ -746,6 +758,12 @@ def serve(cache_dir=None, workers=1, host=DEFAULT_HOST,
                                      steal_delay=steal_delay,
                                      engine_timeout=engine_timeout)
         await service.start(host=host, port=port)
+        gateway = None
+        if http_port is not None:
+            from repro.service.http import HttpGateway
+
+            gateway = HttpGateway(service, api_keys=api_keys)
+            gateway.start(host=host, port=http_port)
         if announce is not None:
             announce("serving on %s:%d (workers=%d, local engines=%d, "
                      "scheduler=%s, cache_dir=%s, auth=%s)"
@@ -753,11 +771,19 @@ def serve(cache_dir=None, workers=1, host=DEFAULT_HOST,
                         workers, local_engines, scheduler,
                         cache_dir or "none",
                         "token" if token else "none"))
+            if gateway is not None:
+                announce("http gateway on %s:%d (auth=%s)"
+                         % (gateway.address[0], gateway.address[1],
+                            "%d api key(s)" % len(api_keys)
+                            if api_keys else "none"))
         try:
             await service.run_until_shutdown()
         except asyncio.CancelledError:
             await service.stop()
             raise
+        finally:
+            if gateway is not None:
+                gateway.stop()
 
     try:
         asyncio.run(_main())

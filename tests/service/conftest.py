@@ -29,6 +29,7 @@ class ServiceHarness:
         self.service = None
         self.port = None
         self.token = token
+        self._gateway = None
         self._ready = threading.Event()
         self._workers = workers
         self._flush_interval = flush_interval
@@ -56,7 +57,28 @@ class ServiceHarness:
         kwargs.setdefault("token", self.token)
         return ServiceClient(port=self.port, timeout=timeout, **kwargs)
 
+    def http_gateway(self, api_keys=None):
+        """Mount (once) and return the HTTP gateway over this service."""
+        if self._gateway is None:
+            from repro.service.http import HttpGateway
+
+            self._gateway = HttpGateway(self.service, api_keys=api_keys)
+            self._gateway.start(port=0)
+        return self._gateway
+
+    def http_client(self, api_key=None, **kwargs):
+        from repro.service.http_client import HttpServiceClient
+
+        gateway = self.http_gateway()
+        kwargs.setdefault("retry_budget", 10.0)
+        return HttpServiceClient(
+            url="http://127.0.0.1:%d" % gateway.address[1],
+            api_key=api_key, **kwargs)
+
     def stop(self):
+        if self._gateway is not None:
+            self._gateway.stop()
+            self._gateway = None
         if self._thread.is_alive():
             try:
                 self.client(timeout=5.0).shutdown()
