@@ -14,6 +14,7 @@ from repro.cdfg.nodes import (
     CdfgLoop,
     CdfgBranch,
     CdfgWait,
+    cdfg_from_payload,
 )
 from repro.cdfg.builder import build_cdfg, compile_source, Program
 
@@ -24,6 +25,7 @@ __all__ = [
     "CdfgLoop",
     "CdfgBranch",
     "CdfgWait",
+    "cdfg_from_payload",
     "build_cdfg",
     "compile_source",
     "Program",

@@ -4,11 +4,33 @@ Leaves hold the AST statements of one basic block (plus, for test
 leaves, the controlling condition expression); inner nodes mirror the
 control constructs.  Profile counts land on the leaves during
 profiling and travel with them into the BSB hierarchy.
+
+Every node also serialises to a **neutral, uid-free payload**
+(:meth:`CdfgNode.to_payload` / :func:`cdfg_from_payload`), mirroring
+:meth:`repro.ir.dfg.DFG.to_payload`: names, structure, statement
+counts, test markers and profile counts survive, uids do not.  A
+hydrated tree gets fresh uids in the same construction order the
+frontend builder uses (children before parents), so visualisations of
+a stored CDFG are byte-identical to the cold compile's.  The AST is a
+frontend artefact no downstream stage reads — hydrated leaves carry
+:data:`HYDRATED_STATEMENT` placeholders (count preserved, which is
+all the viz layer consumes) and :data:`HYDRATED_COND` for test
+leaves.
 """
 
 import itertools
 
+from repro.errors import CdfgError
+
 _cdfg_id_counter = itertools.count(1)
+
+#: Placeholder for one AST statement of a hydrated leaf: the document
+#: keeps only the count, never the (frontend-only) statement objects.
+HYDRATED_STATEMENT = "<hydrated-statement>"
+
+#: Placeholder condition of a hydrated test leaf (only its presence
+#: matters downstream: ``cond is not None``).
+HYDRATED_COND = "<hydrated-cond>"
 
 
 class CdfgNode:
@@ -22,6 +44,10 @@ class CdfgNode:
 
     def leaves(self):
         """All CDFG leaves below (or at) this node, in program order."""
+        raise NotImplementedError
+
+    def to_payload(self):
+        """A uid-free, JSON-compatible description of this subtree."""
         raise NotImplementedError
 
     def __repr__(self):
@@ -57,6 +83,15 @@ class CdfgLeaf(CdfgNode):
     def is_empty(self):
         return not self.statements and self.cond is None
 
+    def to_payload(self):
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "statements": len(self.statements),
+            "test": self.cond is not None,
+            "count": self.exec_count,
+        }
+
     def __repr__(self):
         return "CdfgLeaf(name=%r, stmts=%d, cond=%s, count=%d)" % (
             self.name, len(self.statements),
@@ -78,6 +113,13 @@ class CdfgSeq(CdfgNode):
             result.extend(child.leaves())
         return result
 
+    def to_payload(self):
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "children": [child.to_payload() for child in self.children],
+        }
+
 
 class CdfgLoop(CdfgNode):
     """A loop: a test leaf plus a body."""
@@ -91,6 +133,14 @@ class CdfgLoop(CdfgNode):
 
     def leaves(self):
         return self.test.leaves() + self.body.leaves()
+
+    def to_payload(self):
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "test": self.test.to_payload(),
+            "body": self.body.to_payload(),
+        }
 
 
 class CdfgBranch(CdfgNode):
@@ -110,6 +160,16 @@ class CdfgBranch(CdfgNode):
             result.extend(self.else_body.leaves())
         return result
 
+    def to_payload(self):
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "test": self.test.to_payload(),
+            "then": self.then_body.to_payload(),
+            "else": (self.else_body.to_payload()
+                     if self.else_body is not None else None),
+        }
+
 
 class CdfgWait(CdfgNode):
     """A wait statement."""
@@ -122,3 +182,71 @@ class CdfgWait(CdfgNode):
 
     def leaves(self):
         return []
+
+    def to_payload(self):
+        return {"kind": self.kind, "name": self.name, "cycles": self.cycles}
+
+
+def _hydrate_leaf(doc):
+    statement_count = doc.get("statements")
+    if not isinstance(statement_count, int) or statement_count < 0:
+        raise CdfgError("bad CDFG leaf statement count: %r"
+                        % (statement_count,))
+    exec_count = doc.get("count")
+    if not isinstance(exec_count, int) or exec_count < 0:
+        raise CdfgError("bad CDFG leaf exec count: %r" % (exec_count,))
+    leaf = CdfgLeaf(
+        statements=[HYDRATED_STATEMENT] * statement_count,
+        cond=HYDRATED_COND if doc.get("test") else None,
+        name=str(doc["name"]))
+    leaf.exec_count = exec_count
+    return leaf
+
+
+def cdfg_from_payload(doc):
+    """Rebuild a CDFG tree from :meth:`CdfgNode.to_payload` output.
+
+    Children are rebuilt before their parents — the same order the
+    frontend builder constructs them — and every node gets a **fresh
+    uid** from this process's counter, so a hydrated tree can never
+    collide with trees already live here.  Stored names are restored
+    verbatim (they embed the *original* process's uids, which is what
+    keeps warm visualisations byte-identical to cold ones).  Hydrated
+    leaves carry placeholder statements/conditions: only the statement
+    count and test flag survive, which is all any post-frontend
+    consumer reads.  Raises :class:`CdfgError` on malformed documents.
+    """
+    if not isinstance(doc, dict):
+        raise CdfgError("CDFG payload must be a mapping, got %r" % (doc,))
+    try:
+        kind = doc["kind"]
+        name = str(doc["name"])
+    except (KeyError, TypeError):
+        raise CdfgError("CDFG payload missing kind/name") from None
+    try:
+        if kind == "dfg":
+            return _hydrate_leaf(doc)
+        if kind == "seq":
+            children = [cdfg_from_payload(child)
+                        for child in doc["children"]]
+            return CdfgSeq(children, name=name)
+        if kind == "loop":
+            test = cdfg_from_payload(doc["test"])
+            body = cdfg_from_payload(doc["body"])
+            return CdfgLoop(test, body, name=name)
+        if kind == "branch":
+            test = cdfg_from_payload(doc["test"])
+            then_body = cdfg_from_payload(doc["then"])
+            else_doc = doc["else"]
+            else_body = (cdfg_from_payload(else_doc)
+                         if else_doc is not None else None)
+            return CdfgBranch(test, then_body, else_body, name=name)
+        if kind == "wait":
+            cycles = doc["cycles"]
+            if not isinstance(cycles, int) or cycles < 0:
+                raise CdfgError("bad CDFG wait cycles: %r" % (cycles,))
+            return CdfgWait(cycles, name=name)
+    except (KeyError, TypeError) as exc:
+        raise CdfgError("malformed %r CDFG payload: %s"
+                        % (kind, exc)) from None
+    raise CdfgError("unknown CDFG payload kind %r" % (kind,))

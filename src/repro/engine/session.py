@@ -140,6 +140,20 @@ class Session:
         self._adopt(program.bsbs)
         return program
 
+    def hottest_bsb(self, app):
+        """The BSB carrying the most software time (viz/report focus).
+
+        Resolved through :meth:`program`, so a warm store answers this
+        without a frontend compile.  Ties break to the earliest BSB in
+        program order (``max`` keeps the first maximum).
+        """
+        from repro.swmodel.estimator import bsb_software_time
+        from repro.swmodel.processor import default_processor
+
+        processor = default_processor()
+        return max(self.program(app).bsbs,
+                   key=lambda bsb: bsb_software_time(bsb, processor))
+
     def _program_fingerprint(self, app):
         """The store key of one application under this library."""
         return self.program_affinity_key(app)

@@ -102,6 +102,9 @@ PROGRAMS_STAGE = "programs"
 #: walk these).
 ALL_SHARD_KINDS = PERSISTED_STAGES + (PROGRAMS_STAGE,)
 
+#: Most recent compact() events the history meta file retains.
+COMPACTION_HISTORY_LIMIT = 32
+
 
 # ----------------------------------------------------------------------
 # Content fingerprints
@@ -957,6 +960,56 @@ class CacheStore:
                 for engine, entry in sorted(merged.items())}
 
     # ------------------------------------------------------------------
+    # Compaction history: what each compact() pass kept and dropped
+    # ------------------------------------------------------------------
+    def _compactions_path(self):
+        return os.path.join(self.root,
+                            "compactions.v%d.meta" % STORE_VERSION)
+
+    def _record_compaction_locked(self, report):
+        """Append one compact() report to the bounded history file.
+
+        The caller holds the flush lock.  Events carry the compact
+        report plus a wall-clock stamp; the file keeps the most recent
+        :data:`COMPACTION_HISTORY_LIMIT` events (oldest dropped), so
+        the history can never outgrow the store it describes.
+        """
+        history = self.compaction_history()
+        event = dict(report)
+        event["time"] = time.time()
+        history.append(event)
+        history = history[-COMPACTION_HISTORY_LIMIT:]
+        os.makedirs(self.root, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".compactions.", suffix=".tmp", dir=self.root)
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(history, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, self._compactions_path())
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def compaction_history(self):
+        """Recent compact() events, oldest first; [] on damage/absence.
+
+        Each event is the compact report (``kept``/``dropped``/
+        ``bytes_before``/``bytes_after``/``stages``) plus ``time``, the
+        unix stamp of the pass — the raw material of ``cache info`` and
+        the HTML report's store-analytics section.
+        """
+        try:
+            with open(self._compactions_path(), "rb") as handle:
+                data = pickle.load(handle)
+        except Exception:
+            return []
+        return list(data) if isinstance(data, list) else []
+
+    # ------------------------------------------------------------------
     # LRU stamps: when was each shard entry last written or replayed
     # ------------------------------------------------------------------
     def _lru_path(self):
@@ -1126,13 +1179,15 @@ class CacheStore:
                 bytes_after += os.path.getsize(self._shard_path(stage))
             except OSError:
                 pass
-        return {
+        report = {
             "kept": sum(kept for kept, _ in stages_report.values()),
             "dropped": len(victims),
             "bytes_before": bytes_before,
             "bytes_after": bytes_after,
             "stages": stages_report,
         }
+        self._record_compaction_locked(report)
+        return report
 
     def info(self):
         """Per-stage (entries, bytes) of the on-disk store."""
@@ -1161,6 +1216,10 @@ class CacheStore:
             pass
         try:
             os.unlink(self._delta_stats_path())  # stats of nothing
+        except OSError:
+            pass
+        try:
+            os.unlink(self._compactions_path())  # history of nothing
         except OSError:
             pass
         self._delta_stats_pending = {}

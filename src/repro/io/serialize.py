@@ -427,11 +427,13 @@ def program_to_dict(program):
 
     Everything the allocate -> PACE -> evaluate pipeline reads survives
     the round trip: the BSB hierarchy with its DFGs and profile counts,
-    the source text (for the Lines column), and the profiled
-    inputs/finals/outputs.  The AST and CDFG — frontend artefacts no
-    downstream stage touches — are deliberately dropped; a hydrated
-    program carries ``None`` for both.
+    the source text (for the Lines column), the profiled
+    inputs/finals/outputs, and a neutral uid-free CDFG document so
+    ``export --what cdfg`` renders from the store without recompiling.
+    Only the AST — a frontend artefact nothing downstream touches — is
+    dropped; a hydrated program carries ``None`` for it.
     """
+    cdfg = getattr(program, "cdfg", None)
     return {
         "kind": "program",
         "version": FORMAT_VERSION,
@@ -441,6 +443,7 @@ def program_to_dict(program):
         "final_values": dict(program.final_values),
         "outputs": dict(program.outputs),
         "root": bsb_to_dict(program.bsb_root),
+        "cdfg": None if cdfg is None else cdfg.to_payload(),
     }
 
 
@@ -450,11 +453,16 @@ def program_from_dict(data):
     The flattened ``bsbs`` array is recomputed from the rebuilt
     hierarchy with the same empty-leaf filter the cold compile applies,
     so a hydrated program is positionally identical to its cold twin.
-    Raises :class:`ReproError` on malformed documents (the program
-    store treats that as damage and falls back to a cold compile).
+    Documents written before the ``cdfg`` field existed hydrate with
+    ``cdfg=None`` (the PR-5 behaviour); a malformed embedded CDFG is
+    damage like any other.  Raises :class:`ReproError` on malformed
+    documents (the program store treats that as damage and falls back
+    to a cold compile).
     """
     from repro.bsb.hierarchy import leaf_array
     from repro.cdfg.builder import Program
+    from repro.cdfg.nodes import cdfg_from_payload
+    from repro.errors import CdfgError
 
     if not isinstance(data, dict) or data.get("kind") != "program":
         raise ReproError("not a program document: %r" % (data,))
@@ -465,11 +473,16 @@ def program_from_dict(data):
     for field in ("inputs", "final_values", "outputs"):
         if not isinstance(data.get(field, {}), dict):
             raise ReproError("program %s must be a mapping" % field)
+    cdfg_doc = data.get("cdfg")
+    try:
+        cdfg = None if cdfg_doc is None else cdfg_from_payload(cdfg_doc)
+    except CdfgError as exc:
+        raise ReproError("malformed program CDFG: %s" % (exc,)) from None
     return Program(
         name=str(data.get("name", "")),
         source=str(data.get("source", "")),
         ast=None,
-        cdfg=None,
+        cdfg=cdfg,
         bsb_root=root,
         bsbs=[bsb for bsb in leaf_array(root) if len(bsb.dfg)],
         inputs=dict(data.get("inputs", {})),

@@ -12,6 +12,8 @@ dependencies (stdlib ``http.server``, threaded):
     GET    /v1/jobs/{id}         job status document
     GET    /v1/jobs/{id}/results full results document, or a long-poll
                                  page with ``?after=N&wait=S``
+    GET    /v1/jobs/{id}/report  self-contained HTML report of the job
+    GET    /v1/dashboard         live HTML roster/queue dashboard
     DELETE /v1/jobs/{id}         cancel the job's pending points
     GET    /v1/ping              service liveness + roster info
 
@@ -68,6 +70,9 @@ MAX_BODY_BYTES = protocol.MAX_LINE_BYTES
 #: Cache-Control for terminal (immutable) and live documents.
 CACHE_IMMUTABLE = "max-age=31536000, immutable"
 CACHE_REVALIDATE = "no-cache"
+
+#: The HTML documents' content type (reports, dashboard).
+HTML_CONTENT_TYPE = "text/html; charset=utf-8"
 
 
 class ApiKey:
@@ -426,6 +431,96 @@ class HttpGateway:
             document["status"] = self._status_projection(job)
         return canonical_json(document)
 
+    async def report_document(self, job_id):
+        """``(body, etag, expires_header, immutable)`` of the job's
+        self-contained HTML report.
+
+        The result rows and status come from queue state on this loop;
+        the schedule Gantts and store analytics are computed **on the
+        engine thread** (the only thread allowed to touch the session
+        and its store — programs resolve warm there, so rendering a
+        report compiles nothing).  Memoised per (completion count,
+        state) like the results document; terminal reports are
+        immutable and served as such.
+        """
+        from repro.report.html import render_html, sweep_document
+
+        self.service.queue.collect_garbage()
+        job = self._get_job(job_id)
+        async with job.condition:
+            order = list(job.order)
+            stamp = (len(order), job.state)
+        memo = getattr(job, "_http_report_memo", None)
+        if memo is not None and memo[0] == stamp:
+            _, body, etag = memo
+            return body, etag, self._expires_header(job), job.finished
+        results = [job.results[index] for index in order
+                   if job.results.get(index) is not None]
+        apps = []
+        for point in job.points:
+            if point.app not in apps:
+                apps.append(point.app)
+        gantts, store = await self.service._on_engine(
+            self._report_engine_data, apps)
+        document = sweep_document(
+            results, store=store, gantts=gantts,
+            title="Job %s" % job.id,
+            job=self._status_projection(job))
+        body = render_html(document).encode("utf-8")
+        etag = self._etag(job, body)
+        job._http_report_memo = (stamp, body, etag)
+        return body, etag, self._expires_header(job), job.finished
+
+    def _report_engine_data(self, apps):
+        """Gantt + store documents, built on the engine thread."""
+        from repro.report.html import gantt_documents, store_analytics
+
+        session = self.service.session
+        gantts = []
+        for app in apps:
+            try:
+                gantts.extend(gantt_documents(session, [app]))
+            except Exception:
+                # An app that never compiled (the per-point error
+                # contract lets bogus apps into jobs) has no Gantt.
+                continue
+        return gantts, store_analytics(session.store)
+
+    async def dashboard(self):
+        """``(body, etag)`` of the live roster/queue dashboard page.
+
+        Volatile by nature, so it is served ``no-cache`` — but still
+        under a strong content-hash ETag, so an unchanged service
+        answers polls with 304s.  The gateway's own request counters
+        are deliberately excluded: a page whose bytes change on every
+        fetch could never validate.
+        """
+        from repro.report.html import dashboard_document, render_html
+
+        service = self.service
+        queue = service.queue
+        queue.collect_garbage()
+        stats = service.session.stats
+        cap = queue.max_pending
+        info = {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "transport": "http",
+            "workers": service.workers,
+            "scheduler": queue.scheduler.name,
+            "depth": queue.depth,
+            "queue_cap": "unbounded" if cap is None else cap,
+            "program_compiles": stats.miss_count("compile"),
+            "program_store_hits": stats.hit_count("compile"),
+            "local_engines": service.local_engines,
+            "engines": service.roster.status(),
+        }
+        jobs = [self._status_projection(queue.jobs[name])
+                for name in sorted(queue.jobs)]
+        body = render_html(dashboard_document(info, jobs))
+        body = body.encode("utf-8")
+        etag = '"dash-%s"' % hashlib.sha256(body).hexdigest()[:16]
+        return body, etag
+
     async def submit(self, points, client, weight, objective, quota):
         """Admit one batch; the 429 mapping happens in the handler."""
         self.service.queue.collect_garbage()
@@ -571,6 +666,13 @@ class _Handler(BaseHTTPRequestHandler):
                     and route[2] == "results":
                 self._require(method, "GET")
                 self._handle_results(route[1], query)
+            elif len(route) == 3 and route[0] == "jobs" \
+                    and route[2] == "report":
+                self._require(method, "GET")
+                self._handle_report(route[1])
+            elif route == ["dashboard"]:
+                self._require(method, "GET")
+                self._handle_dashboard()
             else:
                 raise _HttpError(404, "unknown path %r" % split.path)
         except _HttpError as exc:
@@ -653,6 +755,17 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, self.gateway.call(
             self.gateway.cancel(job_id)))
 
+    def _handle_report(self, job_id):
+        body, etag, expires, immutable = self.gateway.call(
+            self.gateway.report_document(job_id))
+        self._send_conditional(body, etag, expires, immutable,
+                               content_type=HTML_CONTENT_TYPE)
+
+    def _handle_dashboard(self):
+        body, etag = self.gateway.call(self.gateway.dashboard())
+        self._send_conditional(body, etag, None, False,
+                               content_type=HTML_CONTENT_TYPE)
+
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
@@ -700,7 +813,8 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HttpError(400, "query parameter %r must be a "
                                   "number" % name) from None
 
-    def _send_conditional(self, body, etag, expires, immutable):
+    def _send_conditional(self, body, etag, expires, immutable,
+                          content_type="application/json"):
         """A cacheable document: ETag always, 304 when it matches."""
         headers = {
             "ETag": etag,
@@ -716,11 +830,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self.send_header(name, value)
             self.end_headers()
             return
-        self._send_json(200, body, extra=headers)
+        self._send_body(200, body, content_type, extra=headers)
 
     def _send_json(self, status, body, extra=None):
+        self._send_body(status, body, "application/json", extra=extra)
+
+    def _send_body(self, status, body, content_type, extra=None):
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (extra or {}).items():
             self.send_header(name, value)

@@ -274,3 +274,50 @@ class HttpServiceClient(RetryingClientMixin):
         """Cancel the job's pending points; returns the final status."""
         response = self._request("DELETE", "/v1/jobs/%s" % job_id)
         return response["status"]
+
+    # ------------------------------------------------------------------
+    # HTML documents (reports + dashboard)
+    # ------------------------------------------------------------------
+    def _request_html(self, path):
+        """One raw round trip for an HTML document; returns the text.
+
+        A separate path from :meth:`_request` because the payload is
+        not JSON — but errors still are: any non-200 answer is parsed
+        as the gateway's structured error document and raised as
+        :class:`ServiceError`, so auth and 404s behave identically to
+        the JSON endpoints.
+        """
+        headers = self._headers()
+        headers["Accept"] = "text/html"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                connection.request("GET", self._prefix + path,
+                                   headers=headers)
+                response = connection.getresponse()
+                payload = response.read()
+            except http.client.HTTPException as exc:
+                raise ServiceError(
+                    "unreadable gateway response (%s: %s)"
+                    % (type(exc).__name__, exc)) from exc
+            if response.status != 200:
+                self._parse(response, payload)  # raises ServiceError
+                raise ServiceError(
+                    "gateway rejected the request (HTTP %d)"
+                    % response.status)
+            try:
+                return payload.decode("utf-8")
+            except UnicodeDecodeError:
+                raise ServiceError("gateway sent an undecodable HTML "
+                                   "document") from None
+        finally:
+            connection.close()
+
+    def report(self, job_id):
+        """The job's self-contained HTML report, as text."""
+        return self._request_html("/v1/jobs/%s/report" % job_id)
+
+    def dashboard(self):
+        """The live service dashboard page, as text."""
+        return self._request_html("/v1/dashboard")

@@ -11,10 +11,12 @@ from repro.viz.dot import (
     bsb_hierarchy_to_dot,
     schedule_to_dot,
 )
+from repro.viz.gantt import schedule_rows
 
 __all__ = [
     "dfg_to_dot",
     "cdfg_to_dot",
     "bsb_hierarchy_to_dot",
     "schedule_to_dot",
+    "schedule_rows",
 ]

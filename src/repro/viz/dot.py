@@ -2,6 +2,14 @@
 
 All functions return DOT source text; no Graphviz installation is
 required (or imported) — render externally with ``dot -Tpng``.
+
+Node identifiers are **dense per-graph indices** (creation order), not
+raw uids: uids are process-global counters, so two processes rendering
+the same stored graph would otherwise disagree byte-for-byte.  Dense
+ids make ``export`` output reproducible across cold and warm runs.
+Dependency edges are deduplicated — an operation feeding two operands
+of the same consumer is still one arrow — and emitted in sorted dense
+order, so the text is deterministic.
 """
 
 from repro.bsb.bsb import ControlBSB, LeafBSB
@@ -32,21 +40,31 @@ def _quote(text):
     return '"%s"' % str(text).replace('"', r'\"')
 
 
+def _dependency_edges(dfg, index_of):
+    """Sorted, deduplicated (producer, consumer) dense-index pairs."""
+    edges = set()
+    for op in dfg.operations():
+        for successor in dfg.successors(op):
+            edges.add((index_of[op.uid], index_of[successor.uid]))
+    return sorted(edges)
+
+
 def dfg_to_dot(dfg, name=None):
     """DOT source for a data-flow graph (one node per operation)."""
     lines = ["digraph %s {" % _quote(name or dfg.name or "dfg"),
              "  rankdir=TB;",
              "  node [shape=box, style=filled, fontname=Helvetica];"]
-    for op in dfg.operations():
+    operations = dfg.operations()
+    index_of = {op.uid: index for index, op in enumerate(operations)}
+    for index, op in enumerate(operations):
         label = op.optype.value
         if op.label:
             label += r"\n%s" % op.label
         color = _OP_COLORS.get(op.optype, _DEFAULT_COLOR)
         lines.append('  n%d [label=%s, fillcolor="%s"];'
-                     % (op.uid, _quote(label), color))
-    for op in dfg.operations():
-        for successor in dfg.successors(op):
-            lines.append("  n%d -> n%d;" % (op.uid, successor.uid))
+                     % (index, _quote(label), color))
+    for producer, consumer in _dependency_edges(dfg, index_of):
+        lines.append("  n%d -> n%d;" % (producer, consumer))
     lines.append("}")
     return "\n".join(lines)
 
@@ -56,9 +74,12 @@ def cdfg_to_dot(root, name="cdfg"):
     lines = ["digraph %s {" % _quote(name),
              "  rankdir=TB;",
              "  node [fontname=Helvetica];"]
+    ids = {}
 
     def node_id(node):
-        return "c%d" % node.uid
+        if id(node) not in ids:
+            ids[id(node)] = len(ids)
+        return "c%d" % ids[id(node)]
 
     def emit(node):
         if isinstance(node, CdfgLeaf):
@@ -101,9 +122,12 @@ def bsb_hierarchy_to_dot(root, name="bsbs"):
     lines = ["digraph %s {" % _quote(name),
              "  rankdir=TB;",
              "  node [fontname=Helvetica];"]
+    ids = {}
 
     def node_id(node):
-        return "b%d" % node.uid
+        if id(node) not in ids:
+            ids[id(node)] = len(ids)
+        return "b%d" % ids[id(node)]
 
     def emit(node):
         if isinstance(node, LeafBSB):
@@ -131,12 +155,18 @@ def schedule_to_dot(schedule, name="schedule"):
     """DOT source for a schedule: operations clustered by control step.
 
     The Figure 5 view: one rank per control step, operations placed at
-    their start step, dependency edges overlaid.
+    their start step, dependency edges overlaid.  Operations the
+    schedule did not place (no start step) are declared explicitly
+    outside the clusters with a dashed border, so dependency edges
+    never manufacture implicit unstyled Graphviz nodes.
     """
     dfg = schedule.dfg
     lines = ["digraph %s {" % _quote(name),
              "  rankdir=TB;",
              "  node [shape=box, style=filled, fontname=Helvetica];"]
+    operations = dfg.operations()
+    index_of = {op.uid: index for index, op in enumerate(operations)}
+    placed = set()
     for step in range(1, schedule.length + 1):
         starters = schedule.operations_starting_at(step)
         if not starters:
@@ -144,13 +174,21 @@ def schedule_to_dot(schedule, name="schedule"):
         lines.append("  subgraph cluster_t%d {" % step)
         lines.append('    label="t=%d";' % step)
         for op in starters:
+            placed.add(op.uid)
             color = _OP_COLORS.get(op.optype, _DEFAULT_COLOR)
             label = "%s (%d)" % (op.optype.value, schedule.latency(op))
             lines.append('    n%d [label=%s, fillcolor="%s"];'
-                         % (op.uid, _quote(label), color))
+                         % (index_of[op.uid], _quote(label), color))
         lines.append("  }")
-    for op in dfg.operations():
-        for successor in dfg.successors(op):
-            lines.append("  n%d -> n%d;" % (op.uid, successor.uid))
+    for op in operations:
+        if op.uid in placed:
+            continue
+        color = _OP_COLORS.get(op.optype, _DEFAULT_COLOR)
+        lines.append('  n%d [label=%s, fillcolor="%s", '
+                     'style="filled,dashed"];'
+                     % (index_of[op.uid],
+                        _quote("%s (unplaced)" % op.optype.value), color))
+    for producer, consumer in _dependency_edges(dfg, index_of):
+        lines.append("  n%d -> n%d;" % (producer, consumer))
     lines.append("}")
     return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Neutral Gantt rows for schedule visualisation.
+
+The HTML report renders schedules as inline SVG Gantt charts; this
+module reduces a :class:`~repro.sched.schedule.Schedule` to plain
+dictionaries first, so the renderer never touches live IR objects and
+the rows are JSON-compatible (the HTTP gateway builds them on the
+engine thread and ships them to handler threads).
+
+Rows are keyed by dense creation-order index — never raw uids — so the
+same stored schedule produces identical rows in every process.
+"""
+
+
+def schedule_rows(schedule):
+    """Flatten a schedule into Gantt rows.
+
+    Returns a list of dictionaries, one per DFG operation in creation
+    order: ``{"index", "label", "type", "start", "finish", "latency"}``.
+    Operations the schedule did not place carry ``start``/``finish`` of
+    ``None`` (rendered dashed, mirroring :func:`viz.dot.schedule_to_dot`).
+    """
+    spans = schedule.as_dict()
+    rows = []
+    for index, op in enumerate(schedule.dfg.operations()):
+        span = spans.get(op.uid)
+        label = op.optype.value
+        if op.label:
+            label = "%s %s" % (label, op.label)
+        try:
+            latency = schedule.latency(op)
+        except KeyError:
+            latency = None  # the schedule never saw this operation
+        rows.append({
+            "index": index,
+            "label": label,
+            "type": op.optype.value,
+            "start": None if span is None else span[0],
+            "finish": None if span is None else span[1],
+            "latency": latency,
+        })
+    return rows

@@ -312,3 +312,56 @@ class TestCompactLiveSession:
         after = shard_keys(root)
         assert any(after.get(stage) for stage in delta), \
             "absorbed recomputation must reach the disk again"
+
+
+class TestCompactionHistory:
+    """compact() passes leave a bounded audit trail (ISSUE 10)."""
+
+    def test_compact_records_one_event(self, tmp_path):
+        root = str(tmp_path / "store")
+        run_point(root, STRAIGHT)
+        store = CacheStore(root)
+        report = store.compact(max_age_seconds=0.0)
+        history = store.compaction_history()
+        assert len(history) == 1
+        event = history[0]
+        assert event["kept"] == report["kept"]
+        assert event["dropped"] == report["dropped"]
+        assert event["bytes_before"] == report["bytes_before"]
+        assert event["bytes_after"] == report["bytes_after"]
+        assert event["stages"] == report["stages"]
+        assert event["time"] > 0
+
+    def test_history_appends_oldest_first_and_is_bounded(
+            self, tmp_path):
+        from repro.engine.store import COMPACTION_HISTORY_LIMIT
+
+        root = str(tmp_path / "store")
+        run_point(root, STRAIGHT)
+        store = CacheStore(root)
+        for _ in range(COMPACTION_HISTORY_LIMIT + 3):
+            store.compact(max_age_seconds=0.0)
+        history = store.compaction_history()
+        assert len(history) == COMPACTION_HISTORY_LIMIT
+        times = [event["time"] for event in history]
+        assert times == sorted(times)
+
+    def test_fresh_store_and_damage_read_as_empty(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = CacheStore(root)
+        assert store.compaction_history() == []
+        run_point(root, STRAIGHT)
+        store.compact(max_age_seconds=0.0)
+        with open(store._compactions_path(), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert store.compaction_history() == []
+
+    def test_clear_removes_the_history(self, tmp_path):
+        root = str(tmp_path / "store")
+        run_point(root, STRAIGHT)
+        store = CacheStore(root)
+        store.compact(max_age_seconds=0.0)
+        assert store.compaction_history()
+        store.clear()
+        assert store.compaction_history() == []
+        assert not os.path.exists(store._compactions_path())

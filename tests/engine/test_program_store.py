@@ -85,7 +85,12 @@ class TestProgramRoundTrip:
         assert clone.inputs == program.inputs
         assert clone.final_values == program.final_values
         assert clone.outputs == program.outputs
-        assert clone.ast is None and clone.cdfg is None
+        assert clone.ast is None
+        # The CDFG travels as a neutral document: structure, names and
+        # profile counts round-trip; uids are re-assigned on load.
+        assert clone.cdfg is not None
+        assert clone.cdfg.to_payload() == program.cdfg.to_payload()
+        assert clone.cdfg.uid != program.cdfg.uid
         assert len(clone.bsbs) == len(program.bsbs)
         for fresh, original in zip(clone.bsbs, program.bsbs):
             assert fresh.uid != original.uid  # re-assigned, not copied

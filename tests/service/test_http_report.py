@@ -1,0 +1,166 @@
+"""Raw-wire tests for the gateway's HTML endpoints (ISSUE 10).
+
+``GET /v1/jobs/{id}/report`` and ``GET /v1/dashboard`` serve the same
+self-contained documents ``lycos-repro report`` writes, behind the
+gateway's existing auth and strong-ETag/304 machinery.  The wire
+matters here: content types, Cache-Control lifecycles, 304 bodies.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import DesignPoint
+from repro.service.client import ServiceError
+from repro.service.http import ApiKey
+from repro.service.server import ExplorationService
+
+from tests.service.test_http import GRID, raw
+
+
+class SlowService(ExplorationService):
+    point_delay = 0.15
+
+    def _evaluate_local(self, point):
+        time.sleep(self.point_delay)
+        return super()._evaluate_local(point)
+
+
+def finished_job(harness):
+    client = harness.client()
+    job = client.submit(GRID)
+    client.collect(job)
+    return job
+
+
+class TestJobReport:
+    def test_terminal_report_is_selfcontained_html(self, harness):
+        gateway = harness.http_gateway()
+        job = finished_job(harness)
+        status, headers, body = raw(
+            gateway, "GET", "/v1/jobs/%s/report" % job)
+        assert status == 200
+        assert headers["Content-Type"] == "text/html; charset=utf-8"
+        page = body.decode("utf-8")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "http://" not in page and "https://" not in page
+        assert "<h2>Job</h2>" in page          # status projection
+        assert "Pareto front" in page
+        assert "hypervolume" in page
+        assert "Design points" in page
+        assert "Schedule Gantt: straight" in page
+        assert "Store analytics" in page
+
+    def test_if_none_match_revalidates_for_free(self, harness):
+        gateway = harness.http_gateway()
+        job = finished_job(harness)
+        path = "/v1/jobs/%s/report" % job
+        status, headers, first = raw(gateway, "GET", path)
+        assert status == 200
+        etag = headers["ETag"]
+        assert etag.startswith('"')
+
+        status, headers, body = raw(
+            gateway, "GET", path, headers={"If-None-Match": etag})
+        assert status == 304
+        assert body == b""
+        assert headers["ETag"] == etag
+
+        # A stale validator pays a full 200 with identical bytes.
+        status, headers, body = raw(
+            gateway, "GET", path, headers={"If-None-Match": '"zzz"'})
+        assert status == 200
+        assert body == first
+        assert headers["ETag"] == etag
+
+    def test_cache_control_lifecycle(self, make_harness):
+        harness = make_harness(service_class=SlowService)
+        gateway = harness.http_gateway()
+        client = harness.client()
+        job = client.submit(GRID)
+        status, headers, _ = raw(
+            gateway, "GET", "/v1/jobs/%s/report" % job)
+        assert status == 200
+        assert headers["Cache-Control"] == "no-cache"
+        client.collect(job)
+        status, headers, _ = raw(
+            gateway, "GET", "/v1/jobs/%s/report" % job)
+        assert status == 200
+        assert "immutable" in headers["Cache-Control"]
+
+    def test_unknown_job_is_404(self, harness):
+        gateway = harness.http_gateway()
+        status, _, _ = raw(gateway, "GET", "/v1/jobs/nope/report")
+        assert status == 404
+
+
+class TestDashboard:
+    def test_dashboard_lists_service_and_jobs(self, harness):
+        gateway = harness.http_gateway()
+        job = finished_job(harness)
+        status, headers, body = raw(gateway, "GET", "/v1/dashboard")
+        assert status == 200
+        assert headers["Content-Type"] == "text/html; charset=utf-8"
+        assert headers["Cache-Control"] == "no-cache"
+        page = body.decode("utf-8")
+        assert "Exploration service dashboard" in page
+        assert job in page
+        assert "http://" not in page and "https://" not in page
+
+    def test_dashboard_304_when_nothing_changed(self, harness):
+        gateway = harness.http_gateway()
+        finished_job(harness)
+        status, headers, _ = raw(gateway, "GET", "/v1/dashboard")
+        assert status == 200
+        etag = headers["ETag"]
+        status, _, body = raw(
+            gateway, "GET", "/v1/dashboard",
+            headers={"If-None-Match": etag})
+        assert status == 304
+        assert body == b""
+
+    def test_new_job_changes_the_etag(self, harness):
+        gateway = harness.http_gateway()
+        finished_job(harness)
+        _, headers, _ = raw(gateway, "GET", "/v1/dashboard")
+        etag_before = headers["ETag"]
+        finished_job(harness)
+        status, headers, _ = raw(
+            gateway, "GET", "/v1/dashboard",
+            headers={"If-None-Match": etag_before})
+        assert status == 200
+        assert headers["ETag"] != etag_before
+
+
+class TestAuthAndClient:
+    def test_html_endpoints_require_the_key(self, make_harness):
+        harness = make_harness()
+        gateway = harness.http_gateway(
+            api_keys={"k-1": ApiKey("k-1", "alice")})
+        for path in ("/v1/dashboard", "/v1/jobs/x/report"):
+            status, _, _ = raw(gateway, "GET", path)
+            assert status == 401
+        status, _, _ = raw(
+            gateway, "GET", "/v1/dashboard",
+            headers={"Authorization": "Bearer k-1"})
+        assert status == 200
+
+    def test_client_report_and_dashboard(self, harness):
+        harness.http_gateway()
+        web = harness.http_client()
+        job = web.submit(GRID)
+        web.collect(job)
+        page = web.report(job)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "Pareto front" in page
+        dashboard = web.dashboard()
+        assert "Exploration service dashboard" in dashboard
+        with pytest.raises(ServiceError):
+            web.report("missing-job")
+
+    def test_report_matches_raw_wire_bytes(self, harness):
+        gateway = harness.http_gateway()
+        web = harness.http_client()
+        job = finished_job(harness)
+        _, _, body = raw(gateway, "GET", "/v1/jobs/%s/report" % job)
+        assert web.report(job) == body.decode("utf-8")

@@ -394,6 +394,90 @@ class TestUniformCacheDir:
         assert os.path.isdir(cache_dir)
 
 
+class TestExportWarmStore:
+    """``export`` resolves through the program store (ISSUE 10)."""
+
+    def test_export_accepts_cache_dir(self):
+        args = build_parser().parse_args(
+            ["export", "--app", "hal", "--cache-dir", "/tmp/store"])
+        assert args.cache_dir == "/tmp/store"
+
+    def test_warm_cdfg_export_is_byte_identical_zero_compiles(
+            self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        argv = ["export", "--app", "hal", "--what", "cdfg",
+                "--cache-dir", store_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "frontend compiles: 1 (program store hits: 0)" \
+            in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "frontend compiles: 0 (program store hits: 1)" \
+            in warm.err
+
+    def test_stats_line_stays_off_stdout(self, capsys):
+        assert main(["export", "--app", "hal", "--what", "bsb"]) == 0
+        captured = capsys.readouterr()
+        assert "frontend compiles" not in captured.out
+        assert "frontend compiles" in captured.err
+
+    def test_warm_dfg_export_is_byte_identical(self, tmp_path,
+                                               capsys):
+        store_dir = str(tmp_path / "store")
+        argv = ["export", "--app", "hal", "--what", "dfg",
+                "--cache-dir", store_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == cold
+
+
+class TestReportCommand:
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.fractions == [0.5, 0.75, 1.0]
+        assert args.policies == ["none"]
+        assert args.output == "report.html"
+
+    def test_report_writes_selfcontained_page(self, tmp_path, capsys):
+        output = str(tmp_path / "out.html")
+        assert main(["report", "--apps", "hal",
+                     "--fractions", "0.6", "1.0", "--quanta", "80",
+                     "-o", output]) == 0
+        printed = capsys.readouterr().out
+        assert "Pareto front" in printed
+        assert "wrote %s" % output in printed
+        assert "frontend compiles:" in printed
+        with open(output, encoding="utf-8") as handle:
+            page = handle.read()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "http://" not in page and "https://" not in page
+        assert "hypervolume" in page
+        assert "Schedule Gantt: hal" in page
+
+    def test_report_cold_and_warm_are_byte_identical(self, tmp_path,
+                                                     capsys):
+        store_dir = str(tmp_path / "store")
+        pages = []
+        for name in ("cold.html", "warm.html"):
+            output = str(tmp_path / name)
+            assert main(["report", "--apps", "hal",
+                         "--fractions", "0.6", "1.0",
+                         "--quanta", "80", "--cache-dir", store_dir,
+                         "-o", output]) == 0
+            with open(output, encoding="utf-8") as handle:
+                pages.append(handle.read())
+        assert pages[0] == pages[1]
+
+    def test_report_rejects_bad_grid(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--apps", "hal", "--quanta", "0"])
+        with pytest.raises(SystemExit):
+            main(["report", "--apps", "hal", "--workers", "0"])
+
+
 class TestPointLineRendering:
     def test_default_area_is_not_zero(self, capsys):
         from repro.cli import _print_point_line

@@ -1,0 +1,124 @@
+"""Golden-file tier for the self-contained HTML report (ISSUE 10).
+
+The contract worth gold-plating: a report is a *pure function of the
+persisted store*.  Two fresh sessions replaying the same store must
+render byte-identical pages, the replay performs zero frontend
+compiles, and the page references nothing outside itself — no
+scripts, no fonts, no ``http(s)://`` URLs.
+"""
+
+import pytest
+
+from repro.apps.registry import application_spec
+from repro.cdfg.builder import frontend_compile_count
+from repro.engine import DesignPoint
+from repro.engine.session import Session
+from repro.report.html import (
+    dashboard_document,
+    gantt_documents,
+    render_html,
+    store_analytics,
+    sweep_document,
+)
+
+QUANTA = 80
+
+
+def _grid():
+    area = application_spec("hal").total_area
+    return [DesignPoint(app="hal", area=0.5 * area, quanta=QUANTA),
+            DesignPoint(app="hal", area=area, quanta=QUANTA)]
+
+
+def _render(store_root):
+    """One fresh-session replay render against a persisted store."""
+    replay = Session(cache_dir=store_root)
+    results = replay.explore(_grid(), workers=1)
+    document = sweep_document(
+        results, stats=replay.stats,
+        store=store_analytics(replay.store),
+        gantts=gantt_documents(replay, ["hal"]),
+        title="Golden report")
+    return render_html(document)
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("report-store") / "store")
+    session = Session(cache_dir=root)
+    session.explore(_grid(), workers=1)
+    session.save_store()
+    return root
+
+
+@pytest.fixture(scope="module")
+def rendered(warm_store):
+    """Two independent replay renders + the compile-count delta."""
+    before = frontend_compile_count()
+    first = _render(warm_store)
+    second = _render(warm_store)
+    compiles = frontend_compile_count() - before
+    return first, second, compiles
+
+
+class TestGolden:
+    def test_two_renders_byte_identical(self, rendered):
+        first, second, _ = rendered
+        assert first == second
+
+    def test_warm_replay_compiles_nothing(self, rendered):
+        _, _, compiles = rendered
+        assert compiles == 0
+
+    def test_no_external_references(self, rendered):
+        page = rendered[0]
+        assert "http://" not in page
+        assert "https://" not in page
+        assert "<script" not in page
+        assert "@import" not in page
+
+    def test_required_sections_present(self, rendered):
+        page = rendered[0]
+        assert "<h1>Golden report</h1>" in page
+        assert "Design points" in page
+        assert "Allocations" in page
+        assert "Pareto front" in page
+        assert "hypervolume" in page
+        assert "Cache analytics" in page
+        assert "Store analytics" in page
+        assert "Schedule Gantt: hal" in page
+        assert page.count("<svg") == 2  # scatter + one Gantt
+
+    def test_store_replay_is_all_hits(self, rendered):
+        # The replay resolves every stage from the store: the page's
+        # own accounting says so.
+        assert "frontend compiles 0" in rendered[0]
+
+
+class TestRendererEdges:
+    def test_empty_sweep_renders(self):
+        page = render_html(sweep_document([], title="Empty"))
+        assert "No successful points to plot." in page
+        assert page.startswith("<!DOCTYPE html>")
+
+    def test_title_is_escaped(self):
+        page = render_html(sweep_document(
+            [], title='<script>alert("x")</script>'))
+        assert "<script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_dashboard_renders_self_contained(self):
+        document = dashboard_document(
+            {"workers": 2, "engines": {"e0": "idle", "e1": "busy"},
+             "queue_cap": "unbounded"},
+            [{"id": "job-1", "state": "done", "total": 4},
+             {"id": "job-2", "state": "running", "total": 2}])
+        page = render_html(document)
+        assert "Exploration service dashboard" in page
+        assert "job-1" in page and "job-2" in page
+        assert "e0=idle" in page
+        assert "http://" not in page and "https://" not in page
+
+    def test_dashboard_without_jobs(self):
+        page = render_html(dashboard_document({"workers": 1}, []))
+        assert "No jobs." in page
